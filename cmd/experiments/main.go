@@ -1,0 +1,221 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section. By default it runs a reduced "quick" configuration
+// (3 runs per cell, truncated sweeps) that finishes in a few minutes; pass
+// -paperscale for the full 10-run protocol.
+//
+// Usage:
+//
+//	experiments                     # everything, quick
+//	experiments -only table6,fig4   # a subset
+//	experiments -paperscale         # full 10-run averaging, full sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/routeplanning/mamorl/internal/approx"
+	"github.com/routeplanning/mamorl/internal/experiments"
+	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/neural"
+)
+
+func main() {
+	var (
+		only       = flag.String("only", "", "comma-separated subset: table2,table3,lemmas,table6,fig3,fig4,fig5,fig6,fig7,fig8,ablation,rendezvous,commrange")
+		paperscale = flag.Bool("paperscale", false, "full 10-run averaging and full sweeps (slow)")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		nnEpochs   = flag.Int("nn-epochs", 300, "NN-Approx training epochs; pass 10000 for the full Table 5 budget (slow)")
+		csvDir     = flag.String("csv", "", "also write machine-readable CSVs of each experiment into this directory")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	run := func(k string) bool { return len(want) == 0 || want[k] }
+	quick := !*paperscale
+
+	writeCSV := func(name string, fn func(io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("csv %s: %v", name, err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			log.Fatalf("csv %s: %v", name, err)
+		}
+		log.Printf("wrote %s", path)
+	}
+
+	base := experiments.DefaultParams()
+	base.Seed = *seed
+	if quick {
+		base = base.Quick()
+	}
+
+	if run("table2") {
+		printTable2()
+	}
+	if run("table3") {
+		printTable3(*seed, quick)
+	}
+	if run("lemmas") {
+		printLemmas()
+	}
+
+	needHarness := run("table6") || run("fig3") || run("fig4") || run("fig5") || run("fig6") || run("fig7") || run("ablation") || run("rendezvous") || run("commrange")
+	var h *experiments.Harness
+	if needHarness {
+		log.Println("training Approx-MaMoRL (Section 4.2 pipeline)...")
+		var err error
+		h, err = experiments.NewHarness(approx.TrainConfig{Seed: *seed})
+		if err != nil {
+			log.Fatalf("harness: %v", err)
+		}
+	}
+
+	if run("table6") {
+		log.Println("running Table 6 (algorithm comparison; exact MaMoRL rows may take a while)...")
+		start := time.Now()
+		rows, err := h.RunTable6(base)
+		if err != nil {
+			log.Fatalf("table 6: %v", err)
+		}
+		fmt.Println("=== Table 6: Comparison Among Implemented Algorithms ===")
+		fmt.Print(experiments.FormatTable6(rows))
+		writeCSV("table6.csv", func(w io.Writer) error { return experiments.WriteTable6CSV(w, rows) })
+		log.Printf("table 6 done in %v", time.Since(start))
+	}
+
+	if run("fig3") {
+		log.Println("running Figure 3 (Approx vs NN-Approx)...")
+		p := base
+		p.Nodes, p.Edges, p.MaxOutDegree, p.Assets, p.MaxSpeed = 200, 430, 8, 2, 3
+		// Table 5's full budget is batch 1000 / 10000 epochs; -nn-epochs
+		// bounds the run regardless of -paperscale so the suite stays
+		// interactive (pass -nn-epochs 10000 for the full budget).
+		opts := neural.TrainOptions{Epochs: *nnEpochs, BatchSize: 256, LearningRate: 0.05}
+		if *paperscale {
+			opts.BatchSize = neural.DefaultBatchSize
+		}
+		r, err := h.RunFigure3(p, opts, *seed)
+		if err != nil {
+			log.Fatalf("figure 3: %v", err)
+		}
+		fmt.Println("=== Figure 3 ===")
+		fmt.Print(experiments.FormatFigure3(r))
+	}
+
+	if run("fig4") {
+		log.Println("running Figure 4 (Pareto front)...")
+		r, err := h.RunFigure4(base)
+		if err != nil {
+			log.Fatalf("figure 4: %v", err)
+		}
+		fmt.Println("=== Figure 4 ===")
+		fmt.Print(experiments.FormatFigure4(r))
+		writeCSV("figure4_pareto.csv", func(w io.Writer) error { return experiments.WriteParetoCSV(w, r) })
+	}
+
+	var sweeps []experiments.SweepResult
+	if run("fig5") || run("fig7") {
+		log.Println("running Figure 5/7 sweeps (Approx-MaMoRL)...")
+		var err error
+		sweeps, err = h.RunSweeps(experiments.AlgoApprox, base, quick)
+		if err != nil {
+			log.Fatalf("figure 5/7 sweeps: %v", err)
+		}
+	}
+	if run("fig5") {
+		fmt.Println("=== Figure 5 ===")
+		fmt.Print(experiments.FormatSweeps("Figure 5", experiments.AlgoApprox, sweeps))
+		writeCSV("figure5_7_sweeps.csv", func(w io.Writer) error {
+			return experiments.WriteSweepsCSV(w, experiments.AlgoApprox, sweeps)
+		})
+	}
+	if run("fig6") {
+		log.Println("running Figure 6 sweeps (partial knowledge)...")
+		pkSweeps, err := h.RunSweeps(experiments.AlgoApproxPK, base, quick)
+		if err != nil {
+			log.Fatalf("figure 6 sweeps: %v", err)
+		}
+		fmt.Println("=== Figure 6 ===")
+		fmt.Print(experiments.FormatSweeps("Figure 6", experiments.AlgoApproxPK, pkSweeps))
+		writeCSV("figure6_sweeps.csv", func(w io.Writer) error {
+			return experiments.WriteSweepsCSV(w, experiments.AlgoApproxPK, pkSweeps)
+		})
+	}
+	if run("fig7") {
+		fmt.Println("=== Figure 7 ===")
+		fmt.Print(experiments.FormatFigure7(experiments.AlgoApprox, sweeps))
+	}
+
+	if run("rendezvous") {
+		log.Println("running the rendezvous study (search + gather)...")
+		rows, err := h.RunRendezvous(base)
+		if err != nil {
+			log.Fatalf("rendezvous: %v", err)
+		}
+		fmt.Println("=== Rendezvous (ours; Definition 2 taken to the gathering point) ===")
+		fmt.Print(experiments.FormatRendezvous(rows))
+	}
+
+	if run("commrange") {
+		log.Println("running the comm-range study...")
+		points, err := h.RunCommRange(base, nil)
+		if err != nil {
+			log.Fatalf("comm range: %v", err)
+		}
+		fmt.Println("=== Comm range (ours; Section 2.4.1's limited communication) ===")
+		fmt.Print(experiments.FormatCommRange(points))
+	}
+
+	if run("ablation") {
+		log.Println("running the ablation study (deployment mechanisms)...")
+		p := base
+		p.Assets = 6 // collision-relevant mechanisms need a crowd
+		results, err := h.RunAblation(p)
+		if err != nil {
+			log.Fatalf("ablation: %v", err)
+		}
+		fmt.Println("=== Ablation (not in the paper; see DESIGN.md §2) ===")
+		fmt.Print(experiments.FormatAblation(results))
+	}
+
+	if run("fig8") {
+		log.Println("running Figure 8 (transfer learning; builds both basin meshes)...")
+		carib, err := grid.CaribbeanGrid(*seed)
+		if err != nil {
+			log.Fatalf("caribbean: %v", err)
+		}
+		naShore, err := grid.NorthAmericaShoreGrid(*seed)
+		if err != nil {
+			log.Fatalf("na shore: %v", err)
+		}
+		runs := 10
+		if quick {
+			runs = 3
+		}
+		r, err := experiments.RunFigure8(carib, naShore, experiments.Figure8Options{Runs: runs, Seed: *seed})
+		if err != nil {
+			log.Fatalf("figure 8: %v", err)
+		}
+		fmt.Println("=== Figure 8 ===")
+		fmt.Print(experiments.FormatFigure8(r))
+		writeCSV("figure8_transfer.csv", func(w io.Writer) error { return experiments.WriteTransferCSV(w, r) })
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/routeplanning/mamorl/internal/core"
+	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/vessel"
+)
+
+// printTable2 reproduces the toy example's Table 2: time and fuel per speed
+// for both assets (edge weights 2 and 2.24).
+func printTable2() {
+	fmt.Println("=== Table 2: Time and fuel consumption of the Assets (toy example) ===")
+	fmt.Printf("%-8s %-8s %-10s %-10s %-10s\n", "asset", "speed", "time", "fuel", "average")
+	for _, row := range []struct {
+		asset  string
+		weight float64
+		maxSp  int
+	}{
+		{"Asset1", 2.0, 3},
+		{"Asset2", 2.24, 2},
+	} {
+		for s := 1; s <= row.maxSp; s++ {
+			tm := vessel.MoveTime(row.weight, float64(s))
+			fu := vessel.MoveFuel(row.weight, float64(s))
+			fmt.Printf("%-8s %-8d %-10.4f %-10.4f %-10.4f\n", row.asset, s, tm, fu, (tm+fu)/2)
+		}
+	}
+	fmt.Println("(Asset1 speed-3 fuel is 4.7764 under the consistent model; the paper's 4.7286 is a typo — see EXPERIMENTS.md)")
+	fmt.Println()
+}
+
+// printTable3 regenerates the three datasets and reports their statistics.
+func printTable3(seed int64, quick bool) {
+	fmt.Println("=== Table 3: Datasets Description ===")
+	fmt.Printf("%-26s %8s %8s %8s\n", "Region", "|V|", "|E|", "Dmax")
+	type gen struct {
+		name string
+		f    func(int64) (*grid.Grid, error)
+	}
+	gens := []gen{
+		{"Caribbean Grid", grid.CaribbeanGrid},
+		{"North America Shore Grid", grid.NorthAmericaShoreGrid},
+		{"Atlantic Grid", grid.AtlanticGrid},
+	}
+	if quick {
+		gens = gens[:2] // the Atlantic mesh takes a while; -paperscale builds it
+	}
+	for _, g := range gens {
+		gr, err := g.f(seed)
+		if err != nil {
+			log.Fatalf("table 3: %s: %v", g.name, err)
+		}
+		st := gr.Stats()
+		fmt.Printf("%-26s %8d %8d %8d\n", g.name, st.Nodes, st.Edges, st.MaxOutDegree)
+	}
+	fmt.Println()
+}
+
+// printLemmas reports the dense P/Q table sizes (Lemmata 1-2) for Table 6's
+// scenarios, reproducing the memory-bottleneck analysis.
+func printLemmas() {
+	fmt.Println("=== Lemmata 1-2: dense P/Q table sizes for Table 6's scenarios ===")
+	fmt.Printf("%-26s %14s %14s\n", "Scenario (sp=5)", "|P| bytes", "|Q| bytes")
+	for _, s := range []struct {
+		label   string
+		v, d, n int
+	}{
+		{"|V|=704 |N|=2 Dmax=7", 704, 7, 2},
+		{"|V|=400 |N|=3 Dmax=9", 400, 9, 3},
+		{"|V|=400 |N|=2 Dmax=6", 400, 6, 2},
+		{"|V|=200 |N|=2 Dmax=9", 200, 9, 2},
+	} {
+		actions := sim.ActionCount(s.d, 5)
+		p := core.PTableBytes(s.v, s.n, actions, 5)
+		q := core.QTableBytes(s.v, s.n, actions, 5)
+		fmt.Printf("%-26s %14s %14s\n", s.label, core.FormatBytes(p), core.FormatBytes(q))
+	}
+	fmt.Println("(the paper reports 205 GB and 17000 TB for the two infeasible rows)")
+	fmt.Println()
+}

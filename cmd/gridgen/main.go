@@ -1,0 +1,78 @@
+// Command gridgen generates maritime planning grids: synthetic random
+// geometric graphs (the paper's NetworkX-style synthetic data) and
+// procedural ocean meshes including the three Table 3 presets.
+//
+// Usage:
+//
+//	gridgen -type synthetic -nodes 400 -edges 846 -maxdeg 9 -out grid.json
+//	gridgen -type caribbean -out caribbean.json
+//	gridgen -type ocean -nodes 1000 -edges 2300 -out basin.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	mamorl "github.com/routeplanning/mamorl"
+)
+
+func main() {
+	var (
+		typ     = flag.String("type", "synthetic", "grid type: synthetic, ocean, caribbean, na-shore, atlantic")
+		name    = flag.String("name", "", "grid name (defaults per type)")
+		nodes   = flag.Int("nodes", 400, "number of nodes (synthetic/ocean)")
+		edges   = flag.Int("edges", 846, "number of undirected edges (synthetic/ocean)")
+		maxDeg  = flag.Int("maxdeg", 9, "maximum out-degree (synthetic; ocean meshes use 6)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output JSON path (required)")
+		preview = flag.Bool("preview", false, "print an ASCII map of the generated grid")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "gridgen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := generate(*typ, *name, *nodes, *edges, *maxDeg, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := mamorl.SaveGrid(*out, g); err != nil {
+		fmt.Fprintf(os.Stderr, "gridgen: save: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %v\n", *out, g.Stats())
+	if *preview {
+		fmt.Print(mamorl.RenderGrid(g, nil, 72, 24))
+	}
+}
+
+func generate(typ, name string, nodes, edges, maxDeg int, seed int64) (*mamorl.Grid, error) {
+	switch typ {
+	case "synthetic":
+		return mamorl.GenerateSyntheticGrid(mamorl.SyntheticConfig{
+			Name: name, Nodes: nodes, Edges: edges, MaxOutDegree: maxDeg, Seed: seed,
+		})
+	case "ocean":
+		if name == "" {
+			name = "ocean"
+		}
+		return mamorl.GenerateOceanMesh(mamorl.OceanMeshConfig{
+			Name: name, Region: mamorl.NewRect(
+				mamorl.Point{X: -90, Y: 8}, mamorl.Point{X: -58, Y: 28},
+			),
+			Nodes: nodes, Edges: edges, Seed: seed,
+		})
+	case "caribbean":
+		return mamorl.CaribbeanGrid(seed)
+	case "na-shore":
+		return mamorl.NorthAmericaShoreGrid(seed)
+	case "atlantic":
+		return mamorl.AtlanticGrid(seed)
+	default:
+		return nil, fmt.Errorf("unknown grid type %q", typ)
+	}
+}

@@ -1,0 +1,80 @@
+// Command tmplard serves the TMPLAR-style JSON planning API (Section 4.7 of
+// the paper): a back-end service that front-ends query for cooperative
+// multi-asset route plans.
+//
+// Usage:
+//
+//	tmplard -addr :8080 -grids caribbean.json,ops.json
+//	tmplard -addr :8080 -preset caribbean
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness
+//	GET  /api/grids        registered grids
+//	POST /api/grids        upload a grid (JSON, gridgen format)
+//	POST /api/plan         global view: plan all assets of a mission
+//	POST /api/plan/asset   local view: plan a single asset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	mamorl "github.com/routeplanning/mamorl"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		grids  = flag.String("grids", "", "comma-separated grid JSON files to preload")
+		preset = flag.String("preset", "", "preload a preset mesh: caribbean, na-shore, atlantic")
+		seed   = flag.Int64("seed", 1, "model training seed")
+	)
+	flag.Parse()
+
+	log.Printf("training Approx-MaMoRL model (seed %d)...", *seed)
+	srv, err := mamorl.NewTMPLARServer(*seed)
+	if err != nil {
+		log.Fatalf("tmplard: %v", err)
+	}
+
+	if *grids != "" {
+		for _, path := range strings.Split(*grids, ",") {
+			g, err := mamorl.LoadGrid(strings.TrimSpace(path))
+			if err != nil {
+				log.Fatalf("tmplard: load %s: %v", path, err)
+			}
+			srv.InstallGrid(g)
+			log.Printf("installed grid %v", g.Stats())
+		}
+	}
+	if *preset != "" {
+		g, err := loadPreset(*preset, *seed)
+		if err != nil {
+			log.Fatalf("tmplard: %v", err)
+		}
+		srv.InstallGrid(g)
+		log.Printf("installed preset %v", g.Stats())
+	}
+
+	log.Printf("tmplard listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loadPreset(name string, seed int64) (*mamorl.Grid, error) {
+	switch name {
+	case "caribbean":
+		return mamorl.CaribbeanGrid(seed)
+	case "na-shore":
+		return mamorl.NorthAmericaShoreGrid(seed)
+	case "atlantic":
+		return mamorl.AtlanticGrid(seed)
+	default:
+		return nil, fmt.Errorf("unknown preset %q", name)
+	}
+}

@@ -1,0 +1,84 @@
+package mamorl_test
+
+import (
+	"fmt"
+
+	mamorl "github.com/routeplanning/mamorl"
+)
+
+// ExampleTrain shows the end-to-end flow: generate a grid, train the
+// deployable Approx-MaMoRL model, and run a cooperative search mission.
+func ExampleTrain() {
+	g, err := mamorl.GenerateSyntheticGrid(mamorl.SyntheticConfig{
+		Nodes: 200, Edges: 430, MaxOutDegree: 8, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	model, err := mamorl.Train(mamorl.TrainConfig{Seed: 7, SampleEpisodes: 3})
+	if err != nil {
+		panic(err)
+	}
+	sc, err := mamorl.NewScenario(g, 3, 1.2, 3, 3)
+	if err != nil {
+		panic(err)
+	}
+	res, err := mamorl.Run(sc, model.NewPlanner(1), mamorl.RunOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Found, res.Collisions)
+	// Output: true 0
+}
+
+// ExampleExactTableBytes evaluates the Lemma 1-2 table sizes that make
+// exact MaMoRL infeasible on realistic instances (Table 6's N/A rows).
+func ExampleExactTableBytes() {
+	g, err := mamorl.GenerateSyntheticGrid(mamorl.SyntheticConfig{
+		Nodes: 400, Edges: 846, MaxOutDegree: 9, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	team := mamorl.NewTeam([]mamorl.NodeID{0, 100, 200}, 2, 5)
+	_, qBytes := mamorl.ExactTableBytes(g, team)
+	fmt.Printf("Q tables would need more than a petabyte: %v\n", qBytes > 1e15)
+	// Output: Q tables would need more than a petabyte: true
+}
+
+// ExampleNewBaseline1 compares the round-robin baseline's makespan against
+// the cooperative planner on one mission.
+func ExampleNewBaseline1() {
+	g, err := mamorl.GenerateSyntheticGrid(mamorl.SyntheticConfig{
+		Nodes: 150, Edges: 330, MaxOutDegree: 8, Seed: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sc, err := mamorl.NewScenario(g, 3, 1.2, 3, 3)
+	if err != nil {
+		panic(err)
+	}
+	res, err := mamorl.Run(sc, mamorl.NewBaseline1(1), mamorl.RunOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Found)
+	// Output: true
+}
+
+// ExampleShortestPath routes between two nodes with Dijkstra.
+func ExampleShortestPath() {
+	g, err := mamorl.GenerateSyntheticGrid(mamorl.SyntheticConfig{
+		Nodes: 50, Edges: 100, MaxOutDegree: 6, Seed: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	path, dist, err := mamorl.ShortestPath(g, 0, 49)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(path) >= 2, dist > 0, path[0] == 0)
+	// Output: true true true
+}

@@ -1,0 +1,129 @@
+// Fleet service: run the TMPLAR-style planning service in-process and
+// query it over HTTP, the way the Navy's TMPLAR front-end integrates
+// MaMoRL as a JSON back-end (Section 4.7 of the paper).
+//
+// The example starts the service on a local port, installs an operations
+// area grid, requests a global-view plan for a three-asset mission and a
+// local-view plan for a single asset, and prints the returned routes.
+//
+//	go run ./examples/fleet-service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	mamorl "github.com/routeplanning/mamorl"
+)
+
+func main() {
+	fmt.Println("training the planning model and starting the service...")
+	srv, err := mamorl.NewTMPLARServer(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := mamorl.GenerateSyntheticGrid(mamorl.SyntheticConfig{
+		Name: "ops-area", Nodes: 300, Edges: 640, MaxOutDegree: 8, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.InstallGrid(g)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, srv.Handler()); err != nil {
+			log.Printf("server stopped: %v", err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("service listening at %s\n\n", base)
+
+	// Global view: plan the whole mission.
+	dest := mamorl.FarthestNode(g, []mamorl.NodeID{0, 100, 200})
+	globalReq := map[string]interface{}{
+		"grid": "ops-area",
+		"assets": []map[string]interface{}{
+			{"source": 0, "sensing_radius": 2.0 * g.AvgEdgeWeight(), "max_speed": 3},
+			{"source": 100, "sensing_radius": 2.0 * g.AvgEdgeWeight(), "max_speed": 3},
+			{"source": 200, "sensing_radius": 2.0 * g.AvgEdgeWeight(), "max_speed": 2},
+		},
+		"destination": dest,
+		"comm_every":  3,
+		"seed":        1,
+	}
+	var global struct {
+		Found  bool    `json:"found"`
+		Steps  int     `json:"steps"`
+		TTotal float64 `json:"t_total"`
+		FTotal float64 `json:"f_total"`
+		Routes []struct {
+			Asset int     `json:"asset"`
+			Time  float64 `json:"time"`
+			Fuel  float64 `json:"fuel"`
+			Legs  []struct {
+				From int32 `json:"from"`
+				To   int32 `json:"to"`
+				Wait bool  `json:"wait"`
+			} `json:"legs"`
+		} `json:"routes"`
+	}
+	post(base+"/api/plan", globalReq, &global)
+	fmt.Printf("global view: found=%v in %d epochs, T_total=%.1f F_total=%.1f\n",
+		global.Found, global.Steps, global.TTotal, global.FTotal)
+	for _, r := range global.Routes {
+		moves, waits := 0, 0
+		for _, leg := range r.Legs {
+			if leg.Wait {
+				waits++
+			} else {
+				moves++
+			}
+		}
+		fmt.Printf("  asset %d: %d moves, %d waits, time %.1f, fuel %.1f\n",
+			r.Asset, moves, waits, r.Time, r.Fuel)
+	}
+
+	// Local view: a single asset plans on its own.
+	localReq := map[string]interface{}{
+		"grid":        "ops-area",
+		"asset":       map[string]interface{}{"source": 42, "sensing_radius": 2.0 * g.AvgEdgeWeight(), "max_speed": 3},
+		"destination": dest,
+		"seed":        2,
+	}
+	var local struct {
+		Found  bool    `json:"found"`
+		Steps  int     `json:"steps"`
+		TTotal float64 `json:"t_total"`
+	}
+	post(base+"/api/plan/asset", localReq, &local)
+	fmt.Printf("\nlocal view (single asset): found=%v in %d epochs, T_total=%.1f\n",
+		local.Found, local.Steps, local.TTotal)
+}
+
+func post(url string, body interface{}, out interface{}) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, buf.String())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

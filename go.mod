@@ -1,0 +1,3 @@
+module github.com/routeplanning/mamorl
+
+go 1.22

@@ -1,0 +1,155 @@
+// Package approx implements the paper's deployed planners: Approx-MaMoRL
+// (linear-regression function approximation, Section 3.3) and
+// NN-Approx-MaMoRL (neural-network counterpart). Both replace the exact
+// solver's exponential P and Q tables with tiny learned models over the
+// hand-crafted features of internal/features, trained on samples produced
+// by exact MaMoRL runs on a small grid (Section 4.2: 50 nodes, 93 edges,
+// 2 assets).
+package approx
+
+import (
+	"fmt"
+
+	"github.com/routeplanning/mamorl/internal/core"
+	"github.com/routeplanning/mamorl/internal/features"
+	"github.com/routeplanning/mamorl/internal/rewardfn"
+	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/vessel"
+)
+
+// TrainingData holds regression samples for both approximated modules.
+type TrainingData struct {
+	// TMM samples: features (Equation 9) -> P values sampled from the exact
+	// solver's Teammate Module (Equation 10's targets).
+	TMMX [][]float64
+	TMMY []float64
+	// LM samples: features (Equation 11) -> reward samples r_{i,a_i,s}
+	// (Equation 12's targets).
+	LMX [][]float64
+	LMY []float64
+}
+
+// Len returns the sample counts.
+func (d *TrainingData) Len() (tmm, lm int) { return len(d.TMMY), len(d.LMY) }
+
+// rewardProxy is the r_{i,a_i,s} regression target: asset i's share of the
+// Section 3.1.1 reward for taking action a, computable in closed form
+// because transitions are deterministic. A wait contributes nothing to any
+// team objective — it neither explores, nor advances the mission clock
+// productively, nor saves fuel that a useful move would not also have spent
+// — so its target is exactly 0; rewarding waits with the inverse-time/fuel
+// formulas teaches the regression that parking forever is optimal (a
+// failure mode we hit and locked out with TestWaitProxyIsZero). When the
+// destination (or a region surrogate) is known, normalized progress toward
+// it joins the target — this trains the "useful afterward" regime that the
+// β feature exists for (Section 3.3.1).
+func rewardProxy(m *sim.Mission, i int, a sim.Action, dest features.DestArg, w rewardfn.Weights) float64 {
+	return RewardProxy(m, i, a, dest, w)
+}
+
+// RewardProxy exposes the per-asset immediate reward of an action. The
+// baselines score actions with it directly ("the reward functions are
+// identical to the ones described in Section 3.1.1", Section 4.1.2), and
+// Approx-MaMoRL's regression is trained on it.
+func RewardProxy(m *sim.Mission, i int, a sim.Action, dest features.DestArg, w rewardfn.Weights) float64 {
+	if a.IsWait() {
+		return 0
+	}
+	g := m.Grid()
+	from := m.Cur(i)
+	to, weight := m.Apply(from, a)
+
+	newly := m.PredictNewlySensed(i, to)
+	explore := float64(newly) / (float64(g.MaxOutDegree()) * float64(m.NumAssets()))
+	mt := vessel.MoveTime(weight, float64(a.Speed))
+	timeR := 1 / mt
+	fuelR := 1 / (1 + vessel.MoveFuel(weight, float64(a.Speed)))
+	target := w.Explore*explore + w.Time*timeR + w.Fuel*fuelR
+
+	if dest != features.NoDest && !a.IsWait() && weight > 0 {
+		progress := (g.Distance(from, dest) - g.Distance(to, dest)) / weight
+		if progress > 1 {
+			progress = 1
+		} else if progress < -1 {
+			progress = -1
+		}
+		target += w.Explore * progress
+	}
+	return target
+}
+
+// CollectOptions tunes sample collection.
+type CollectOptions struct {
+	// Episodes is the number of sampling missions run with the exact
+	// planner (ε-greedy, so trajectories vary). Default 5.
+	Episodes int
+	// Weights scalarize the LM reward targets. Zero selects the defaults.
+	Weights rewardfn.Weights
+	// Extractor computes features; zero value selects features.New().
+	Extractor features.Extractor
+}
+
+func (o CollectOptions) withDefaults() CollectOptions {
+	if o.Episodes == 0 {
+		o.Episodes = 5
+	}
+	if o.Weights == (rewardfn.Weights{}) {
+		o.Weights = rewardfn.DefaultWeights()
+	}
+	if o.Extractor.HopsM == 0 {
+		o.Extractor = features.New()
+	}
+	return o
+}
+
+// CollectSamples runs sampling missions with a trained exact MaMoRL planner
+// and harvests (feature, target) pairs for both modules. The LM targets are
+// collected in both destination regimes: unknown (β = 0) and known (β
+// active, progress in the target), matching the paper's two-regime feature
+// design.
+func CollectSamples(pl *core.Planner, opts CollectOptions) (*TrainingData, error) {
+	opts = opts.withDefaults()
+	sc := pl.Scenario()
+	data := &TrainingData{}
+	w := opts.Weights.Normalized()
+
+	collect := func(m *sim.Mission, _ []sim.Action) {
+		n := m.NumAssets()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				dist := pl.PDistribution(m, i, j)
+				vj := m.Knowledge(i).LastKnown[j]
+				acts := sim.LegalActions(m.Grid(), vj, sc.Team[j].MaxSpeed)
+				if len(acts) != len(dist) {
+					continue // degenerate (should not happen): skip sample
+				}
+				for aIdx, a := range acts {
+					data.TMMX = append(data.TMMX, opts.Extractor.TMM(m, i, j, a, features.NoDest))
+					data.TMMY = append(data.TMMY, dist[aIdx])
+				}
+			}
+			for _, a := range m.LegalActionsFor(i) {
+				data.LMX = append(data.LMX, opts.Extractor.LM(m, i, a, features.NoDest))
+				data.LMY = append(data.LMY, rewardProxy(m, i, a, features.NoDest, w))
+
+				data.LMX = append(data.LMX, opts.Extractor.LM(m, i, a, sc.Dest))
+				data.LMY = append(data.LMY, rewardProxy(m, i, a, sc.Dest, w))
+			}
+		}
+	}
+
+	pl.SetTraining(true) // ε-greedy trajectories diversify the state sample
+	defer pl.SetTraining(false)
+	for ep := 0; ep < opts.Episodes; ep++ {
+		if _, err := sim.Run(sc, pl, sim.RunOptions{OnStep: collect}); err != nil {
+			return nil, fmt.Errorf("approx: sampling episode %d: %w", ep, err)
+		}
+	}
+	if len(data.TMMY) == 0 || len(data.LMY) == 0 {
+		return nil, fmt.Errorf("approx: sampling produced no data (missions end immediately?)")
+	}
+	return data, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Persistence for trained exact-MaMoRL tables. Training is the expensive
+// part (the paper reports minutes to hours); the sparse P and Q tables are
+// the learned artifact, so a deployment trains once and ships the tables.
+// The format is gob: internal, versioned by tableFileVersion, and tied to
+// the scenario shape (grid size, team size, speeds) — loading into a
+// mismatched planner is refused.
+
+// tableFileVersion guards against format drift.
+const tableFileVersion = 1
+
+// tableFile is the serialized form.
+type tableFile struct {
+	Version   int
+	NumNodes  int
+	NumAssets int
+	MaxSpeed  int
+	// P[j] is teammate j's anticipation table.
+	P []map[uint64][]float64
+	// Q[i][c] is asset i's Q table for reward component c.
+	Q [][]map[uint64]map[uint64]float64
+}
+
+// SaveTables writes the planner's learned P and Q tables.
+func (pl *Planner) SaveTables(w io.Writer) error {
+	tf := tableFile{
+		Version:   tableFileVersion,
+		NumNodes:  pl.sc.Grid.NumNodes(),
+		NumAssets: len(pl.sc.Team),
+		MaxSpeed:  pl.sc.Team.MaxSpeedOver(),
+	}
+	for _, p := range pl.p {
+		tf.P = append(tf.P, p.dists)
+	}
+	for _, qs := range pl.q {
+		var row []map[uint64]map[uint64]float64
+		for _, q := range qs {
+			row = append(row, q.vals)
+		}
+		tf.Q = append(tf.Q, row)
+	}
+	return gob.NewEncoder(w).Encode(tf)
+}
+
+// LoadTables replaces the planner's tables with previously saved ones. The
+// scenario shape must match what the tables were trained on.
+func (pl *Planner) LoadTables(r io.Reader) error {
+	var tf tableFile
+	if err := gob.NewDecoder(r).Decode(&tf); err != nil {
+		return fmt.Errorf("core: load tables: %w", err)
+	}
+	if tf.Version != tableFileVersion {
+		return fmt.Errorf("core: table file version %d, want %d", tf.Version, tableFileVersion)
+	}
+	if tf.NumNodes != pl.sc.Grid.NumNodes() || tf.NumAssets != len(pl.sc.Team) ||
+		tf.MaxSpeed != pl.sc.Team.MaxSpeedOver() {
+		return fmt.Errorf("core: tables trained on |V|=%d |N|=%d sp=%d, planner has |V|=%d |N|=%d sp=%d",
+			tf.NumNodes, tf.NumAssets, tf.MaxSpeed,
+			pl.sc.Grid.NumNodes(), len(pl.sc.Team), pl.sc.Team.MaxSpeedOver())
+	}
+	if len(tf.P) != len(pl.p) || len(tf.Q) != len(pl.q) {
+		return fmt.Errorf("core: table file has %d P / %d Q tables, planner expects %d / %d",
+			len(tf.P), len(tf.Q), len(pl.p), len(pl.q))
+	}
+	for j := range pl.p {
+		if tf.P[j] == nil {
+			tf.P[j] = make(map[uint64][]float64)
+		}
+		pl.p[j].dists = tf.P[j]
+	}
+	for i := range pl.q {
+		if len(tf.Q[i]) != NumRewardComponents {
+			return fmt.Errorf("core: asset %d has %d Q components, want %d", i, len(tf.Q[i]), NumRewardComponents)
+		}
+		for c := range pl.q[i] {
+			if tf.Q[i][c] == nil {
+				tf.Q[i][c] = make(map[uint64]map[uint64]float64)
+			}
+			pl.q[i][c].vals = tf.Q[i][c]
+		}
+	}
+	return nil
+}
+
+// SaveTablesFile and LoadTablesFile are path-based conveniences.
+func (pl *Planner) SaveTablesFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pl.SaveTables(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func (pl *Planner) LoadTablesFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return pl.LoadTables(f)
+}

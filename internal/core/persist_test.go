@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/rewardfn"
+	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/vessel"
+)
+
+func trainedPlanner(t *testing.T) (*Planner, sim.Scenario) {
+	t.Helper()
+	g := meshGrid(t, 5, 5)
+	team := vessel.NewTeam([]grid.NodeID{0, 24}, 1.2, 2)
+	sc := sim.Scenario{Grid: g, Team: team, Dest: 12, CommEvery: 3}
+	pl, err := NewPlanner(sc, Config{Seed: 2, MemoryBudgetBytes: 1 << 30}, rewardfn.DefaultWeights())
+	if err != nil {
+		t.Fatalf("NewPlanner: %v", err)
+	}
+	if err := pl.Train(); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return pl, sc
+}
+
+func TestTablesRoundTrip(t *testing.T) {
+	pl, sc := trainedPlanner(t)
+	before := pl.TableStats()
+	if before.QEntries == 0 {
+		t.Fatal("training produced no Q entries")
+	}
+
+	var buf bytes.Buffer
+	if err := pl.SaveTables(&buf); err != nil {
+		t.Fatalf("SaveTables: %v", err)
+	}
+
+	// Load into a fresh planner on the same scenario and verify identical
+	// evaluation behavior.
+	fresh, err := NewPlanner(sc, Config{Seed: 2, MemoryBudgetBytes: 1 << 30}, rewardfn.DefaultWeights())
+	if err != nil {
+		t.Fatalf("NewPlanner: %v", err)
+	}
+	if err := fresh.LoadTables(&buf); err != nil {
+		t.Fatalf("LoadTables: %v", err)
+	}
+	after := fresh.TableStats()
+	if after.PEntries != before.PEntries || after.QEntries != before.QEntries {
+		t.Fatalf("table sizes drifted: %+v vs %+v", after, before)
+	}
+
+	resTrained, err := sim.Run(sc, pl, sim.RunOptions{})
+	if err != nil {
+		t.Fatalf("Run trained: %v", err)
+	}
+	resLoaded, err := sim.Run(sc, fresh, sim.RunOptions{})
+	if err != nil {
+		t.Fatalf("Run loaded: %v", err)
+	}
+	if !resLoaded.Found {
+		t.Fatalf("loaded planner failed: %+v", resLoaded)
+	}
+	// Same seed, same tables: identical missions.
+	if resTrained.Steps != resLoaded.Steps || resTrained.TTotal != resLoaded.TTotal {
+		t.Errorf("loaded planner diverged: %+v vs %+v", resLoaded, resTrained)
+	}
+}
+
+func TestTablesFileRoundTrip(t *testing.T) {
+	pl, sc := trainedPlanner(t)
+	path := t.TempDir() + "/tables.gob"
+	if err := pl.SaveTablesFile(path); err != nil {
+		t.Fatalf("SaveTablesFile: %v", err)
+	}
+	fresh, err := NewPlanner(sc, Config{Seed: 2, MemoryBudgetBytes: 1 << 30}, rewardfn.DefaultWeights())
+	if err != nil {
+		t.Fatalf("NewPlanner: %v", err)
+	}
+	if err := fresh.LoadTablesFile(path); err != nil {
+		t.Fatalf("LoadTablesFile: %v", err)
+	}
+	if fresh.TableStats().QEntries == 0 {
+		t.Error("file roundtrip lost entries")
+	}
+}
+
+func TestLoadTablesRejectsMismatchedShape(t *testing.T) {
+	pl, _ := trainedPlanner(t)
+	var buf bytes.Buffer
+	if err := pl.SaveTables(&buf); err != nil {
+		t.Fatalf("SaveTables: %v", err)
+	}
+
+	// A planner on a different grid must refuse the tables.
+	g2 := meshGrid(t, 4, 4)
+	sc2 := sim.Scenario{Grid: g2, Team: vessel.NewTeam([]grid.NodeID{0, 15}, 1.2, 2), Dest: 8, CommEvery: 3}
+	other, err := NewPlanner(sc2, Config{Seed: 2, MemoryBudgetBytes: 1 << 30}, rewardfn.DefaultWeights())
+	if err != nil {
+		t.Fatalf("NewPlanner: %v", err)
+	}
+	err = other.LoadTables(&buf)
+	if err == nil || !strings.Contains(err.Error(), "trained on") {
+		t.Fatalf("mismatched load accepted: %v", err)
+	}
+}
+
+func TestLoadTablesRejectsGarbage(t *testing.T) {
+	pl, _ := trainedPlanner(t)
+	if err := pl.LoadTables(strings.NewReader("not gob")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV export: every driver's results can be written as machine-readable
+// tables so the paper's figures can be re-plotted with any tool. Columns
+// are stable and documented here; floats use the shortest exact form.
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func d(v time.Duration) string {
+	return strconv.FormatFloat(v.Seconds(), 'g', -1, 64)
+}
+
+// WriteTable6CSV emits one row per (scenario, algorithm) with the Table 6
+// columns.
+func WriteTable6CSV(w io.Writer, rows []Table6Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"scenario", "algorithm", "na", "na_reason",
+		"t_total_mean", "f_total_mean", "found_runs", "runs",
+		"collided_runs", "cpu_seconds_total", "memory_bytes",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Scenario, r.Algorithm,
+			strconv.FormatBool(r.Stats.NA), r.Stats.NAReason,
+			f(r.Stats.MeanT()), f(r.Stats.MeanF()),
+			strconv.Itoa(r.Stats.FoundRuns), strconv.Itoa(r.Stats.Runs),
+			strconv.Itoa(r.Stats.CollidedRuns), d(r.Stats.CPUTime), f(r.Stats.MemoryBytes),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepsCSV emits one row per (parameter, value) with the RI() series
+// of Figures 5/6 and the timing series of Figure 7.
+func WriteSweepsCSV(w io.Writer, subject string, sweeps []SweepResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"subject", "param", "value",
+		"ri_time_vs_b1_pct", "ri_fuel_vs_b1_pct",
+		"ri_time_vs_rw_pct", "ri_fuel_vs_rw_pct",
+		"significant_vs_b1",
+		"subject_t_mean", "b1_t_mean", "rw_t_mean",
+		"subject_f_mean", "b1_f_mean", "rw_f_mean",
+		"subject_cpu_seconds", "b1_cpu_seconds",
+	}); err != nil {
+		return err
+	}
+	for _, sr := range sweeps {
+		for _, pt := range sr.Points {
+			rec := []string{
+				subject, sr.Param, f(pt.Value),
+				f(pt.RITimeVsB1), f(pt.RIFuelVsB1),
+				f(pt.RITimeVsRW), f(pt.RIFuelVsRW),
+				strconv.FormatBool(pt.SignificantVsB1),
+				f(pt.Subject.MeanT()), f(pt.B1.MeanT()), f(pt.RW.MeanT()),
+				f(pt.Subject.MeanF()), f(pt.B1.MeanF()), f(pt.RW.MeanF()),
+				d(pt.SubjectCPU), d(pt.B1CPU),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteParetoCSV emits every per-run objective point of Figure 4 with a
+// front-membership flag.
+func WriteParetoCSV(w io.Writer, r Figure4Result) error {
+	onFront := make(map[string]bool, len(r.Front))
+	key := func(x, y float64, tag string) string {
+		return fmt.Sprintf("%s|%s|%s", f(x), f(y), tag)
+	}
+	for _, pt := range r.Front {
+		onFront[key(pt.X, pt.Y, pt.Tag)] = true
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"algorithm", "f_total", "t_total", "on_front"}); err != nil {
+		return err
+	}
+	for algo, pts := range r.Points {
+		for _, pt := range pts {
+			rec := []string{
+				algo, f(pt.X), f(pt.Y),
+				strconv.FormatBool(onFront[key(pt.X, pt.Y, pt.Tag)]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTransferCSV emits the Figure 8 matrix.
+func WriteTransferCSV(w io.Writer, r Figure8Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"trained_on", "evaluated_on", "t_total_mean", "f_total_mean", "found_runs", "runs",
+	}); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		rec := []string{
+			c.TrainedOn, c.EvaluatedOn,
+			f(c.Stats.MeanT()), f(c.Stats.MeanF()),
+			strconv.Itoa(c.Stats.FoundRuns), strconv.Itoa(c.Stats.Runs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/routeplanning/mamorl/internal/approx"
+	"github.com/routeplanning/mamorl/internal/baselines"
+	"github.com/routeplanning/mamorl/internal/core"
+	"github.com/routeplanning/mamorl/internal/partial"
+	"github.com/routeplanning/mamorl/internal/rewardfn"
+	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/stats"
+)
+
+// Algorithm names as they appear in the paper's tables.
+const (
+	AlgoMaMoRL     = "MaMoRL"
+	AlgoApprox     = "Approx-MaMoRL"
+	AlgoApproxPK   = "Approx-MaMoRL with Partial Knowledge"
+	AlgoBaseline1  = "Baseline-1"
+	AlgoBaseline2  = "Baseline-2"
+	AlgoRandomWalk = "Random Walk-Baseline"
+)
+
+// AllAlgorithms lists every implemented algorithm in Table 6's row order.
+var AllAlgorithms = []string{
+	AlgoMaMoRL, AlgoApprox, AlgoApproxPK, AlgoBaseline1, AlgoBaseline2, AlgoRandomWalk,
+}
+
+// Harness owns the trained approximate model shared by all experiments
+// (the paper trains Approx-MaMoRL once on a small grid and deploys it
+// everywhere, Section 4.2).
+type Harness struct {
+	Pipe            *approx.Pipeline
+	Linear          *approx.LinearModel
+	LinearTrainTime time.Duration
+}
+
+// NewHarness trains the sample source and fits the linear model. The zero
+// TrainConfig reproduces the paper's 50-node training setup.
+func NewHarness(cfg approx.TrainConfig) (*Harness, error) {
+	pipe, err := approx.NewPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lin, dur, err := approx.FitLinear(pipe.Data)
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{Pipe: pipe, Linear: lin, LinearTrainTime: dur}, nil
+}
+
+// RunStats aggregates one algorithm's seeded runs on one parameter setting.
+type RunStats struct {
+	Algorithm string
+	Runs      int
+	// Per-run objective values (Definitions 1 and 2), aligned by seed so
+	// paired t-tests are valid across algorithms.
+	TTotal []float64
+	FTotal []float64
+	// FoundRuns counts runs that discovered the destination; CollidedRuns
+	// counts runs with at least one collision; AbortedRuns counts runs
+	// terminated by the collision policy.
+	FoundRuns    int
+	CollidedRuns int
+	AbortedRuns  int
+	// CPUTime is the total wall time spent constructing, training and
+	// running the planner across all runs.
+	CPUTime time.Duration
+	// MemoryBytes is the planner-state footprint: learned-weight bytes for
+	// the approximations, the dense Lemma 2 requirement for exact MaMoRL.
+	MemoryBytes float64
+	// NA marks an algorithm that could not run (memory budget, or
+	// collision aborts on every run), with the reason.
+	NA       bool
+	NAReason string
+}
+
+// MeanT returns the average T_total over completed runs.
+func (r RunStats) MeanT() float64 { return stats.Mean(r.TTotal) }
+
+// MeanF returns the average F_total over completed runs.
+func (r RunStats) MeanF() float64 { return stats.Mean(r.FTotal) }
+
+// baselineStateBytes estimates the per-team planner state of the
+// non-learning planners: a seeded PRNG plus a per-asset cursor — hundreds
+// of bytes, reported honestly rather than copied from the paper.
+func baselineStateBytes(nAssets int) float64 { return float64(256 + 48*nAssets) }
+
+// runOutcome carries one seeded run's results through the (possibly
+// parallel) evaluation loop.
+type runOutcome struct {
+	res sim.Result
+	cpu time.Duration
+	mem float64
+	err error
+}
+
+// Evaluate runs one algorithm over p.Runs seeded instances, in parallel if
+// p.Parallel > 1. Run results stay aligned by seed regardless of
+// completion order, keeping paired t-tests across algorithms valid.
+func (h *Harness) Evaluate(algo string, p Params) (RunStats, error) {
+	rs := RunStats{Algorithm: algo, Runs: p.Runs}
+	outcomes := make([]runOutcome, p.Runs)
+
+	execute := func(run int) runOutcome {
+		sc, err := scenarioFor(p, run)
+		if err != nil {
+			return runOutcome{err: err}
+		}
+		res, cpu, mem, err := h.runOne(algo, sc, p, run)
+		if err != nil && errors.Is(err, core.ErrMemoryBudget) {
+			numActions := core.InstanceActions(sc.Grid, sc.Team)
+			return runOutcome{
+				err: err,
+				mem: core.QTableBytes(sc.Grid.NumNodes(), len(sc.Team), numActions, sc.Team.MaxSpeedOver()),
+			}
+		}
+		return runOutcome{res: res, cpu: cpu, mem: mem, err: err}
+	}
+
+	if p.Parallel > 1 {
+		sem := make(chan struct{}, p.Parallel)
+		var wg sync.WaitGroup
+		for run := 0; run < p.Runs; run++ {
+			wg.Add(1)
+			go func(run int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				outcomes[run] = execute(run)
+			}(run)
+		}
+		wg.Wait()
+	} else {
+		for run := 0; run < p.Runs; run++ {
+			outcomes[run] = execute(run)
+		}
+	}
+
+	for _, out := range outcomes {
+		if out.err != nil {
+			if errors.Is(out.err, core.ErrMemoryBudget) {
+				return RunStats{
+					Algorithm:   algo,
+					Runs:        p.Runs,
+					NA:          true,
+					NAReason:    "exceeds memory budget",
+					MemoryBytes: out.mem,
+				}, nil
+			}
+			return rs, out.err
+		}
+		rs.CPUTime += out.cpu
+		rs.MemoryBytes = out.mem
+		if out.res.Aborted {
+			rs.AbortedRuns++
+			rs.CollidedRuns++
+			continue
+		}
+		if out.res.Collisions > 0 {
+			rs.CollidedRuns++
+		}
+		// Only missions that discovered the destination contribute
+		// objective values; a MaxSteps timeout has no meaningful T/F.
+		if out.res.Found {
+			rs.FoundRuns++
+			rs.TTotal = append(rs.TTotal, out.res.TTotal)
+			rs.FTotal = append(rs.FTotal, out.res.FTotal)
+		}
+	}
+	if len(rs.TTotal) == 0 {
+		rs.NA = true
+		switch {
+		case rs.AbortedRuns == p.Runs:
+			rs.NAReason = fmt.Sprintf("collisions aborted all %d runs", p.Runs)
+		case rs.AbortedRuns > 0:
+			rs.NAReason = fmt.Sprintf("collisions aborted %d/%d runs, rest timed out", rs.AbortedRuns, p.Runs)
+		default:
+			rs.NAReason = "no run discovered the destination"
+		}
+	}
+	return rs, nil
+}
+
+// runOne executes a single seeded run of an algorithm, returning the
+// mission result, the planner CPU time, and the planner memory footprint.
+func (h *Harness) runOne(algo string, sc sim.Scenario, p Params, run int) (sim.Result, time.Duration, float64, error) {
+	seed := p.Seed + int64(run)*104729
+	start := time.Now()
+	switch algo {
+	case AlgoMaMoRL:
+		pl, err := core.NewPlanner(sc, core.Config{Episodes: p.Episodes, Seed: seed}, rewardfn.DefaultWeights())
+		if err != nil {
+			return sim.Result{}, 0, 0, err
+		}
+		if err := pl.Train(); err != nil {
+			return sim.Result{}, 0, 0, err
+		}
+		res, err := sim.Run(sc, pl, sim.RunOptions{})
+		st := pl.TableStats()
+		return res, time.Since(start), st.DenseQBytes, err
+
+	case AlgoApprox:
+		pl := approx.NewPlanner(h.Linear, h.Pipe.Extractor, seed)
+		res, err := sim.Run(sc, pl, sim.RunOptions{})
+		return res, time.Since(start), float64(pl.MemoryBytes(len(sc.Team))), err
+
+	case AlgoApproxPK:
+		inner := approx.NewPlanner(h.Linear, h.Pipe.Extractor, seed)
+		pl, err := partial.NewPlanner(sc, regionFor(sc), inner)
+		if err != nil {
+			return sim.Result{}, 0, 0, err
+		}
+		res, err := sim.Run(sc, pl, sim.RunOptions{})
+		return res, time.Since(start), float64(inner.MemoryBytes(len(sc.Team))), err
+
+	case AlgoBaseline1:
+		pl := baselines.NewRoundRobin(rewardfn.Weights{}, seed)
+		res, err := sim.Run(sc, pl, sim.RunOptions{})
+		return res, time.Since(start), baselineStateBytes(len(sc.Team)), err
+
+	case AlgoBaseline2:
+		pl := baselines.NewIndependent(rewardfn.Weights{}, seed)
+		res, err := sim.Run(sc, pl, sim.RunOptions{Collision: sim.AbortOnCollision})
+		return res, time.Since(start), baselineStateBytes(len(sc.Team)), err
+
+	case AlgoRandomWalk:
+		// A random walk's hitting time is orders of magnitude beyond a
+		// directed search (that is Table 6's point: T_total in the
+		// thousands); give it the step budget to actually finish.
+		sc.MaxSteps = sc.Grid.NumNodes() * 150
+		pl := baselines.NewRandomWalk(seed)
+		res, err := sim.Run(sc, pl, sim.RunOptions{})
+		return res, time.Since(start), baselineStateBytes(len(sc.Team)), err
+
+	default:
+		return sim.Result{}, 0, 0, fmt.Errorf("experiments: unknown algorithm %q", algo)
+	}
+}

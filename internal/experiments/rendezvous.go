@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The rendezvous study (ours, extending the paper): missions continue past
+// discovery until the whole team gathers at the destination — Definition
+// 2's makespan "for reaching the mission goal" taken literally, and the
+// regime the β feature was designed for. It reports how much of the total
+// makespan each algorithm spends searching versus converging.
+
+// RendezvousRow is one algorithm's rendezvous outcome.
+type RendezvousRow struct {
+	Algorithm string
+	Stats     RunStats
+	// MeanDiscoveryFrac is the mean fraction of mission epochs spent before
+	// discovery (the rest is the gathering phase).
+	MeanDiscoveryFrac float64
+}
+
+// RunRendezvous evaluates the runnable algorithms with Scenario.Rendezvous
+// enabled.
+func (h *Harness) RunRendezvous(p Params) ([]RendezvousRow, error) {
+	algos := []string{AlgoApprox, AlgoApproxPK, AlgoBaseline1, AlgoBaseline2}
+	var out []RendezvousRow
+	for _, algo := range algos {
+		row := RendezvousRow{Algorithm: algo}
+		var fracSum float64
+		var fracN int
+		rs := RunStats{Algorithm: algo, Runs: p.Runs}
+		for run := 0; run < p.Runs; run++ {
+			sc, err := scenarioFor(p, run)
+			if err != nil {
+				return nil, err
+			}
+			sc.Rendezvous = true
+			res, cpu, mem, err := h.runOne(algo, sc, p, run)
+			if err != nil {
+				return nil, fmt.Errorf("rendezvous %s run %d: %w", algo, run, err)
+			}
+			rs.CPUTime += cpu
+			rs.MemoryBytes = mem
+			if res.Aborted {
+				rs.AbortedRuns++
+				rs.CollidedRuns++
+				continue
+			}
+			if res.Collisions > 0 {
+				rs.CollidedRuns++
+			}
+			if res.Found && res.Steps > 0 {
+				rs.FoundRuns++
+				rs.TTotal = append(rs.TTotal, res.TTotal)
+				rs.FTotal = append(rs.FTotal, res.FTotal)
+				fracSum += float64(res.DiscoverySteps) / float64(res.Steps)
+				fracN++
+			}
+		}
+		if len(rs.TTotal) == 0 {
+			rs.NA = true
+			rs.NAReason = "no completed rendezvous"
+		}
+		row.Stats = rs
+		if fracN > 0 {
+			row.MeanDiscoveryFrac = fracSum / float64(fracN)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatRendezvous renders the study.
+func FormatRendezvous(rows []RendezvousRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Rendezvous: search + gather until the whole team reaches the goal\n")
+	fmt.Fprintf(&b, "  %-38s %8s %10s %12s %14s\n",
+		"algorithm", "found", "search%", "T_total", "F_total")
+	for _, r := range rows {
+		t, f := "N/A", "N/A"
+		if !r.Stats.NA {
+			t = fmt.Sprintf("%.2f", r.Stats.MeanT())
+			f = fmt.Sprintf("%.1f", r.Stats.MeanF())
+		}
+		fmt.Fprintf(&b, "  %-38s %5d/%2d %9.0f%% %12s %14s\n",
+			r.Algorithm, r.Stats.FoundRuns, r.Stats.Runs, 100*r.MeanDiscoveryFrac, t, f)
+	}
+	return b.String()
+}

@@ -1,0 +1,220 @@
+// Package features implements the hand-crafted feature engineering behind
+// Approx-MaMoRL (Section 3.3, Equations 9 and 11). A feature vector
+// describes one candidate action — a teammate's anticipated action for the
+// TMM approximation, or the asset's own action for the LM approximation —
+// from the deciding asset's local knowledge only.
+//
+// Two of the paper's features are generalized from indicators to fractions,
+// keeping their sign semantics while letting the regression rank actions
+// instead of merely classifying them (the "extensive feature engineering
+// efforts" of Section 3.3):
+//
+//   - α ("leads to unsensed nodes") is the fraction of newly sensed nodes
+//     the action would yield, normalized by D_max; the paper's indicator is
+//     α > 0.
+//   - β ("leads to d") is the normalized progress toward the destination,
+//     (dist(from, d) − dist(to, d)) / edge weight ∈ [−1, 1]; the paper's
+//     indicator is β > 0. It is zero while the destination is unknown.
+package features
+
+import (
+	"github.com/routeplanning/mamorl/internal/graphalg"
+	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/sim"
+)
+
+// Feature vector dimensions.
+const (
+	// TMMDim is the width of Equation 9's vector: degree, θ, α, β, speed.
+	TMMDim = 5
+	// LMDim is the width of Equation 11's vector: the five TMM features
+	// plus the collision-speed feature sp'_i.
+	LMDim = 6
+)
+
+// DefaultHopsM is the default m of the θ feature ("another asset within m
+// hops"); the paper does not publish its value.
+const DefaultHopsM = 2
+
+// Extractor computes feature vectors. The zero value is not ready; use New.
+type Extractor struct {
+	// HopsM is the θ feature's hop threshold m.
+	HopsM int
+	// Mask, when non-nil, restricts which nodes count as worth sensing for
+	// the α feature. The partial-knowledge planner masks to its region:
+	// nodes outside it cannot contain the destination, so sensing them has
+	// no value.
+	Mask func(grid.NodeID) bool
+}
+
+// New returns an Extractor with the default m.
+func New() Extractor { return Extractor{HopsM: DefaultHopsM} }
+
+// DestArg carries the destination knowledge available to the deciding
+// asset: None when unknown, a node otherwise. The partial-knowledge planner
+// passes the center of its known region as a surrogate.
+type DestArg = grid.NodeID
+
+// NoDest marks an unknown destination.
+const NoDest = grid.None
+
+// TMM computes Equation 9's features: asset i's view of teammate j taking
+// action a from j's last-known node.
+func (e Extractor) TMM(m *sim.Mission, i, j int, a sim.Action, dest DestArg) []float64 {
+	return e.TMMContext(m, i, j, dest).Features(a)
+}
+
+// LM computes Equation 11's features: asset i's own action a from its
+// current node, with the trailing collision-speed feature.
+func (e Extractor) LM(m *sim.Mission, i int, a sim.Action, dest DestArg) []float64 {
+	return e.LMContext(m, i, dest).Features(a)
+}
+
+// NodeContext caches the expensive per-node feature components — θ's hop
+// search and α's sensing query — so that scoring every action at a node
+// (planners do this every epoch for every asset and anticipated teammate)
+// costs one BFS and one radius query per *target node* instead of per
+// (target, speed) pair.
+type NodeContext struct {
+	e      Extractor
+	m      *sim.Mission
+	i, j   int
+	v      grid.NodeID
+	dest   DestArg
+	lm     bool
+	degree float64
+	theta  float64
+	alpha  map[grid.NodeID]float64
+}
+
+// TMMContext prepares feature extraction for teammate j's actions at its
+// last-known node, from asset i's view.
+func (e Extractor) TMMContext(m *sim.Mission, i, j int, dest DestArg) *NodeContext {
+	return e.newContext(m, i, j, m.Knowledge(i).LastKnown[j], dest, false)
+}
+
+// LMContext prepares feature extraction for asset i's own actions at its
+// current node.
+func (e Extractor) LMContext(m *sim.Mission, i int, dest DestArg) *NodeContext {
+	return e.newContext(m, i, i, m.Cur(i), dest, true)
+}
+
+func (e Extractor) newContext(m *sim.Mission, i, j int, v grid.NodeID, dest DestArg, lm bool) *NodeContext {
+	g := m.Grid()
+	sc := m.Scenario()
+	c := &NodeContext{
+		e: e, m: m, i: i, j: j, v: v, dest: dest, lm: lm,
+		degree: float64(g.OutDegree(v)) / float64(g.MaxOutDegree()),
+		alpha:  make(map[grid.NodeID]float64, g.OutDegree(v)),
+	}
+	// θ(v, s): another asset within m hops of v (believed locations).
+	for k := range sc.Team {
+		if k == j {
+			continue
+		}
+		other := m.Knowledge(i).LastKnown[k]
+		if k == i {
+			other = m.Cur(i)
+		}
+		if graphalg.WithinHops(g, v, other, e.HopsM) {
+			c.theta = 1
+			break
+		}
+	}
+	return c
+}
+
+// alphaAt computes (and caches) the α feature for a target node: the
+// fraction of newly sensed nodes there, judged against asset i's sensed
+// knowledge, normalized by D_max.
+func (c *NodeContext) alphaAt(to grid.NodeID) float64 {
+	if a, ok := c.alpha[to]; ok {
+		return a
+	}
+	g := c.m.Grid()
+	newly := 0
+	sensed := c.m.Knowledge(c.i).Sensed
+	g.ForEachWithinRadius(to, c.m.Scenario().Team[c.j].SensingRadius, func(u grid.NodeID) {
+		if sensed[u] {
+			return
+		}
+		if c.e.Mask != nil && !c.e.Mask(u) {
+			return
+		}
+		newly++
+	})
+	a := float64(newly) / float64(g.MaxOutDegree())
+	c.alpha[to] = a
+	return a
+}
+
+// Features computes the vector for one action: Equation 9's five features,
+// plus the collision-speed feature for LM contexts (Equation 11).
+func (c *NodeContext) Features(a sim.Action) []float64 {
+	g := c.m.Grid()
+	sc := c.m.Scenario()
+	dim := TMMDim
+	if c.lm {
+		dim = LMDim
+	}
+	out := make([]float64, 0, dim)
+	out = append(out, c.degree, c.theta)
+
+	// Resolve the action target.
+	to := c.v
+	var weight float64
+	if !a.IsWait() {
+		edge := g.Neighbors(c.v)[a.Neighbor]
+		to, weight = edge.To, edge.Weight
+	}
+
+	// 3. α(a, s).
+	alpha := 0.0
+	if !a.IsWait() {
+		alpha = c.alphaAt(to)
+	}
+	out = append(out, alpha)
+
+	// 4. β(a, d, s): normalized progress toward the destination; zero when
+	// unknown or when waiting.
+	beta := 0.0
+	if c.dest != NoDest && !a.IsWait() && weight > 0 {
+		beta = (g.Distance(c.v, c.dest) - g.Distance(to, c.dest)) / weight
+		if beta > 1 {
+			beta = 1
+		} else if beta < -1 {
+			beta = -1
+		}
+	}
+	out = append(out, beta)
+
+	// 5. sp: the action's speed normalized by the subject's max speed
+	// (0 for wait).
+	sp := 0.0
+	if !a.IsWait() {
+		sp = float64(a.Speed) / float64(sc.Team[c.j].MaxSpeed)
+	}
+	out = append(out, sp)
+
+	if !c.lm {
+		return out
+	}
+	// sp'_i: collision-risk speed — the action's normalized speed if it
+	// enters a believed-occupied node, else 0. Faster approaches to an
+	// occupied node are riskier (less time for the teammate to clear).
+	risk := 0.0
+	if !a.IsWait() && c.m.BelievedOccupied(c.i, to) {
+		risk = sp
+	}
+	return append(out, risk)
+}
+
+// ResolveDest returns the destination argument asset i should use: the
+// known destination after discovery, the hint (e.g. the partial-knowledge
+// region's center node) if provided, else NoDest.
+func ResolveDest(m *sim.Mission, i int, hint DestArg) DestArg {
+	if k := m.Knowledge(i); k.DestKnown {
+		return k.Dest
+	}
+	return hint
+}

@@ -1,0 +1,199 @@
+package graphalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/grid"
+)
+
+// floydWarshall computes all-pairs shortest distances by the textbook
+// O(V^3) recurrence — an independent oracle for Dijkstra.
+func floydWarshall(g *grid.Grid) [][]float64 {
+	n := g.NumNodes()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range g.Neighbors(grid.NodeID(v)) {
+			if e.Weight < d[v][e.To] {
+				d[v][e.To] = e.Weight
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if math.IsInf(d[i][k], 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if alt := d[i][k] + d[k][j]; alt < d[i][j] {
+					d[i][j] = alt
+				}
+			}
+		}
+	}
+	return d
+}
+
+// TestDijkstraAgainstFloydWarshall cross-checks every source on random
+// geometric graphs.
+func TestDijkstraAgainstFloydWarshall(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g, err := grid.GenerateSynthetic(grid.SyntheticConfig{
+			Nodes: 40, Edges: 85, MaxOutDegree: 6, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		oracle := floydWarshall(g)
+		for src := 0; src < g.NumNodes(); src++ {
+			sp := Dijkstra(g, grid.NodeID(src))
+			for v := 0; v < g.NumNodes(); v++ {
+				want := oracle[src][v]
+				got := sp.Dist[v]
+				if math.IsInf(want, 1) != math.IsInf(got, 1) {
+					t.Fatalf("seed %d src %d -> %d: reachability mismatch", seed, src, v)
+				}
+				if !math.IsInf(want, 1) && math.Abs(want-got) > 1e-9 {
+					t.Fatalf("seed %d src %d -> %d: %v vs oracle %v", seed, src, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDijkstraPathConsistency: the reconstructed path's edge weights must
+// sum to the reported distance, and every hop must be a real edge.
+func TestDijkstraPathConsistency(t *testing.T) {
+	g, err := grid.GenerateSynthetic(grid.SyntheticConfig{
+		Nodes: 120, Edges: 260, MaxOutDegree: 7, Seed: 9,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	sp := Dijkstra(g, 0)
+	for trial := 0; trial < 40; trial++ {
+		dest := grid.NodeID(rng.Intn(g.NumNodes()))
+		path, err := sp.PathTo(dest)
+		if err != nil {
+			t.Fatalf("PathTo(%d): %v", dest, err)
+		}
+		sum := 0.0
+		for i := 1; i < len(path); i++ {
+			w, err := g.EdgeWeight(path[i-1], path[i])
+			if err != nil {
+				t.Fatalf("path hop %d->%d is not an edge", path[i-1], path[i])
+			}
+			sum += w
+		}
+		if math.Abs(sum-sp.Dist[dest]) > 1e-9 {
+			t.Fatalf("path sum %v != dist %v for dest %d", sum, sp.Dist[dest], dest)
+		}
+	}
+}
+
+// TestWithinHopsMatchesHopDistances cross-checks the early-exit search
+// against the full BFS.
+func TestWithinHopsMatchesHopDistances(t *testing.T) {
+	g, err := grid.GenerateSynthetic(grid.SyntheticConfig{
+		Nodes: 60, Edges: 130, MaxOutDegree: 6, Seed: 4,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	for src := 0; src < g.NumNodes(); src += 7 {
+		hops := HopDistances(g, grid.NodeID(src))
+		for v := 0; v < g.NumNodes(); v++ {
+			for _, m := range []int{0, 1, 2, 3} {
+				want := hops[v] >= 0 && hops[v] <= m
+				got := WithinHops(g, grid.NodeID(src), grid.NodeID(v), m)
+				if got != want {
+					t.Fatalf("WithinHops(%d,%d,%d) = %v, BFS says %d hops", src, v, m, got, hops[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDijkstraAvoidingRoutesAroundWall(t *testing.T) {
+	g := grid.Lattice("walled", 7, 5)
+	id := func(x, y int) grid.NodeID { return grid.NodeID(y*7 + x) }
+	wall := map[grid.NodeID]bool{}
+	for y := 0; y < 4; y++ {
+		wall[id(3, y)] = true
+	}
+	avoid := func(v grid.NodeID) bool { return wall[v] }
+
+	plain := Dijkstra(g, id(0, 0))
+	avoided := DijkstraAvoiding(g, id(0, 0), avoid)
+
+	// Straight-line distance is 6; the detour through the gap at y=4 is
+	// strictly longer.
+	if plain.Dist[id(6, 0)] != 6 {
+		t.Fatalf("plain dist = %v, want 6", plain.Dist[id(6, 0)])
+	}
+	got := avoided.Dist[id(6, 0)]
+	if got <= 6 {
+		t.Fatalf("avoiding dist = %v, want > 6", got)
+	}
+	// The path never touches the wall.
+	path, err := avoided.PathTo(id(6, 0))
+	if err != nil {
+		t.Fatalf("PathTo: %v", err)
+	}
+	for _, v := range path {
+		if wall[v] {
+			t.Fatalf("path enters wall at %d", v)
+		}
+	}
+	// Wall nodes themselves stay unreachable.
+	for v := range wall {
+		if !math.IsInf(avoided.Dist[v], 1) {
+			t.Errorf("wall node %d has finite distance %v", v, avoided.Dist[v])
+		}
+	}
+	// Nil filter delegates to plain Dijkstra.
+	if d := DijkstraAvoiding(g, id(0, 0), nil).Dist[id(6, 0)]; d != 6 {
+		t.Errorf("nil-avoid dist = %v", d)
+	}
+	// Avoided source: everything unreachable.
+	fromWall := DijkstraAvoiding(g, id(3, 0), avoid)
+	if !math.IsInf(fromWall.Dist[id(0, 0)], 1) {
+		t.Error("source on obstacle should reach nothing")
+	}
+}
+
+func TestReachableAvoiding(t *testing.T) {
+	g := grid.Lattice("walled", 5, 3)
+	id := func(x, y int) grid.NodeID { return grid.NodeID(y*5 + x) }
+	wall := map[grid.NodeID]bool{id(2, 0): true, id(2, 1): true, id(2, 2): true}
+	avoid := func(v grid.NodeID) bool { return wall[v] }
+	if ReachableAvoiding(g, id(0, 0), id(4, 0), avoid) {
+		t.Error("full wall should disconnect the halves")
+	}
+	// Open the top of the wall.
+	delete(wall, id(2, 2))
+	if !ReachableAvoiding(g, id(0, 0), id(4, 0), avoid) {
+		t.Error("gap should reconnect the halves")
+	}
+	if !ReachableAvoiding(g, id(0, 0), id(0, 0), avoid) {
+		t.Error("self-reachability failed")
+	}
+	if ReachableAvoiding(g, id(2, 0), id(0, 0), avoid) {
+		t.Error("source on obstacle should be unreachable")
+	}
+	if !ReachableAvoiding(g, id(0, 0), id(4, 0), nil) {
+		t.Error("nil avoid should behave like Reachable")
+	}
+}

@@ -1,0 +1,197 @@
+package graphalg
+
+import (
+	"math"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/geo"
+	"github.com/routeplanning/mamorl/internal/grid"
+)
+
+// ringGrid builds a cycle of n nodes on a unit circle scaled so consecutive
+// nodes are 1 apart.
+func ringGrid(t *testing.T, n int) *grid.Grid {
+	t.Helper()
+	b := grid.NewBuilder("ring", geo.Planar)
+	r := 0.5 / math.Sin(math.Pi/float64(n))
+	for i := 0; i < n; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		b.AddNode(geo.Point{X: r * math.Cos(ang), Y: r * math.Sin(ang)})
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(grid.NodeID(i), grid.NodeID((i+1)%n))
+	}
+	return b.MustBuild()
+}
+
+// lineGrid builds a path of n nodes spaced 1 apart.
+func lineGrid(t *testing.T, n int) *grid.Grid {
+	t.Helper()
+	b := grid.NewBuilder("line", geo.Planar)
+	for i := 0; i < n; i++ {
+		b.AddNode(geo.Point{X: float64(i), Y: 0})
+	}
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(grid.NodeID(i), grid.NodeID(i+1))
+	}
+	return b.MustBuild()
+}
+
+func TestDijkstraLine(t *testing.T) {
+	g := lineGrid(t, 6)
+	sp := Dijkstra(g, 0)
+	for v := 0; v < 6; v++ {
+		if math.Abs(sp.Dist[v]-float64(v)) > 1e-9 {
+			t.Errorf("Dist[%d] = %v, want %d", v, sp.Dist[v], v)
+		}
+	}
+	path, err := sp.PathTo(5)
+	if err != nil {
+		t.Fatalf("PathTo: %v", err)
+	}
+	if len(path) != 6 || path[0] != 0 || path[5] != 5 {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestDijkstraRingTakesShortWay(t *testing.T) {
+	g := ringGrid(t, 10)
+	sp := Dijkstra(g, 0)
+	// Node 3 is 3 hops one way, 7 the other.
+	if math.Abs(sp.Dist[3]-3) > 1e-6 {
+		t.Errorf("Dist[3] = %v, want ~3", sp.Dist[3])
+	}
+	if math.Abs(sp.Dist[7]-3) > 1e-6 {
+		t.Errorf("Dist[7] = %v, want ~3 (going the other way)", sp.Dist[7])
+	}
+}
+
+func TestDijkstraAgreesWithBFSOnUnitWeights(t *testing.T) {
+	// On a graph whose edges all have weight ~1, Dijkstra distances must
+	// equal BFS hop counts.
+	g, err := grid.GenerateSynthetic(grid.SyntheticConfig{Nodes: 120, Edges: 260, MaxOutDegree: 8, Seed: 5})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	// Rebuild with all nodes on a unit-spaced line ordering is not possible;
+	// instead check the invariant Dist <= hops * maxW and Dist >= hops * minW.
+	minW, maxW := math.Inf(1), 0.0
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.Neighbors(grid.NodeID(v)) {
+			if e.Weight < minW {
+				minW = e.Weight
+			}
+			if e.Weight > maxW {
+				maxW = e.Weight
+			}
+		}
+	}
+	sp := Dijkstra(g, 0)
+	hops := HopDistances(g, 0)
+	for v := 0; v < g.NumNodes(); v++ {
+		if hops[v] < 0 {
+			t.Fatalf("node %d unreachable in connected grid", v)
+		}
+		h := float64(hops[v])
+		if sp.Dist[v] > h*maxW+1e-9 {
+			t.Errorf("node %d: dist %v > hops %v * maxW %v", v, sp.Dist[v], h, maxW)
+		}
+		if sp.Dist[v] < h*minW-1e-9 && hops[v] > 0 {
+			// Dist can use more hops than BFS but each costs >= minW... only
+			// a lower bound via BFS hops of the *weighted* shortest path,
+			// which has at least hops[v] edges? No: weighted path may use
+			// fewer or more edges, but any path has >= 1 edge per hop and
+			// BFS hops is the minimum edge count, so dist >= hops*minW.
+			t.Errorf("node %d: dist %v < hops %v * minW %v", v, sp.Dist[v], h, minW)
+		}
+	}
+}
+
+func TestPathToUnreachable(t *testing.T) {
+	// Two one-way arcs make node 0 unreachable from node 2.
+	b := grid.NewBuilder("oneway", geo.Planar)
+	b.AddNode(geo.Point{X: 0})
+	b.AddNode(geo.Point{X: 1})
+	b.AddNode(geo.Point{X: 2})
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(2, 1) // give node 2 an out-edge so Build succeeds
+	g := b.MustBuild()
+	sp := Dijkstra(g, 2)
+	if _, err := sp.PathTo(0); err == nil {
+		t.Error("expected unreachable error")
+	}
+	if !math.IsInf(sp.Dist[0], 1) {
+		t.Errorf("Dist[0] = %v, want +Inf", sp.Dist[0])
+	}
+	if Reachable(g, 2, 0) {
+		t.Error("Reachable(2,0) should be false")
+	}
+	if !Reachable(g, 0, 2) {
+		t.Error("Reachable(0,2) should be true")
+	}
+	// Connected checks reachability from node 0, and 0 reaches everything
+	// here even though 2 cannot reach 0.
+	if !Connected(g) {
+		t.Error("all nodes are reachable from 0; Connected should be true")
+	}
+}
+
+func TestHopDistances(t *testing.T) {
+	g := lineGrid(t, 5)
+	hops := HopDistances(g, 2)
+	want := []int{2, 1, 0, 1, 2}
+	for i, w := range want {
+		if hops[i] != w {
+			t.Errorf("hops[%d] = %d, want %d", i, hops[i], w)
+		}
+	}
+}
+
+func TestWithinHops(t *testing.T) {
+	g := lineGrid(t, 10)
+	cases := []struct {
+		a, b grid.NodeID
+		m    int
+		want bool
+	}{
+		{0, 0, 0, true},
+		{0, 1, 1, true},
+		{0, 2, 1, false},
+		{0, 2, 2, true},
+		{0, 9, 8, false},
+		{0, 9, 9, true},
+		{5, 3, 2, true},
+		{5, 3, 1, false},
+	}
+	for _, c := range cases {
+		if got := WithinHops(g, c.a, c.b, c.m); got != c.want {
+			t.Errorf("WithinHops(%d,%d,%d) = %v, want %v", c.a, c.b, c.m, got, c.want)
+		}
+	}
+}
+
+func TestConnectedOnGeneratedGrids(t *testing.T) {
+	g, err := grid.GenerateSynthetic(grid.SyntheticConfig{Nodes: 300, Edges: 700, MaxOutDegree: 9, Seed: 9})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if !Connected(g) {
+		t.Error("generated synthetic grid must be connected")
+	}
+}
+
+func TestDijkstraPathIsOptimalUnderTriangle(t *testing.T) {
+	// On a geometric graph, shortest path distance >= straight-line distance.
+	g, err := grid.GenerateSynthetic(grid.SyntheticConfig{Nodes: 150, Edges: 350, MaxOutDegree: 8, Seed: 2})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	sp := Dijkstra(g, 0)
+	for v := 1; v < g.NumNodes(); v++ {
+		straight := g.Distance(0, grid.NodeID(v))
+		if sp.Dist[v] < straight-1e-9 {
+			t.Fatalf("node %d: path %v shorter than straight line %v", v, sp.Dist[v], straight)
+		}
+	}
+}

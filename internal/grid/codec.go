@@ -1,0 +1,88 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/routeplanning/mamorl/internal/geo"
+)
+
+// fileFormat is the on-disk JSON representation of a grid. It stores arcs
+// (directed); weights are recomputed from positions on load so a file can
+// never carry weights inconsistent with its geometry.
+type fileFormat struct {
+	Name   string      `json:"name"`
+	Metric string      `json:"metric"`
+	Nodes  []geo.Point `json:"nodes"`
+	Arcs   [][2]int32  `json:"arcs"`
+}
+
+// Encode writes the grid as JSON to w.
+func Encode(w io.Writer, g *Grid) error {
+	ff := fileFormat{
+		Name:   g.name,
+		Metric: g.metric.String(),
+		Nodes:  g.pos,
+	}
+	for v, edges := range g.adj {
+		for _, e := range edges {
+			ff.Arcs = append(ff.Arcs, [2]int32{int32(v), int32(e.To)})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ff)
+}
+
+// Decode reads a grid from JSON produced by Encode.
+func Decode(r io.Reader) (*Grid, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("grid: decode: %w", err)
+	}
+	var metric geo.Metric
+	switch ff.Metric {
+	case "planar", "":
+		metric = geo.Planar
+	case "geodesic":
+		metric = geo.Geodesic
+	default:
+		return nil, fmt.Errorf("grid: unknown metric %q", ff.Metric)
+	}
+	b := NewBuilder(ff.Name, metric)
+	for _, p := range ff.Nodes {
+		b.AddNode(p)
+	}
+	n := int32(len(ff.Nodes))
+	for _, a := range ff.Arcs {
+		if a[0] < 0 || a[0] >= n || a[1] < 0 || a[1] >= n {
+			return nil, fmt.Errorf("grid: arc %v references missing node (|V|=%d)", a, n)
+		}
+		b.AddArc(NodeID(a[0]), NodeID(a[1]))
+	}
+	return b.Build()
+}
+
+// SaveFile writes the grid to a JSON file at path.
+func SaveFile(path string, g *Grid) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Encode(f, g); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a grid from a JSON file at path.
+func LoadFile(path string) (*Grid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

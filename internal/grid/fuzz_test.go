@@ -1,0 +1,86 @@
+package grid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the grid codec: it must never panic,
+// and anything it accepts must re-encode and re-decode to the same shape.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid grid and a few mutations.
+	g, err := GenerateSynthetic(SyntheticConfig{Nodes: 12, Edges: 24, MaxOutDegree: 5, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"name":"x","metric":"planar","nodes":[{"x":0,"y":0},{"x":1,"y":0}],"arcs":[[0,1],[1,0]]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"arcs":[[0,0]]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted grids must round-trip.
+		var out bytes.Buffer
+		if err := Encode(&out, g); err != nil {
+			t.Fatalf("re-encode of accepted grid failed: %v", err)
+		}
+		g2, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumArcs() != g.NumArcs() {
+			t.Fatalf("roundtrip shape drift: %v vs %v", g2.Stats(), g.Stats())
+		}
+	})
+}
+
+// FuzzSubgraph exercises Subgraph with arbitrary node selections.
+func FuzzSubgraph(f *testing.F) {
+	g, err := GenerateSynthetic(SyntheticConfig{Nodes: 30, Edges: 64, MaxOutDegree: 6, Seed: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add("0,1,2,3")
+	f.Add("5")
+	f.Add("29,28,27")
+	f.Add("")
+	f.Add("0,0,1")
+	f.Add("99")
+	f.Fuzz(func(t *testing.T, csv string) {
+		var nodes []NodeID
+		for _, tok := range strings.Split(csv, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			n := 0
+			for _, ch := range tok {
+				if ch < '0' || ch > '9' {
+					return // not a node list; skip
+				}
+				n = n*10 + int(ch-'0')
+				if n > 1000 {
+					break
+				}
+			}
+			nodes = append(nodes, NodeID(n))
+		}
+		sub, err := Subgraph(g, nodes, "fuzz")
+		if err != nil {
+			return
+		}
+		if sub.NumNodes() != len(nodes) {
+			t.Fatalf("subgraph has %d nodes for %d inputs", sub.NumNodes(), len(nodes))
+		}
+	})
+}

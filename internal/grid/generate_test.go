@@ -1,0 +1,233 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/geo"
+)
+
+// checkConnected verifies that every node is reachable from node 0.
+func checkConnected(t *testing.T, g *Grid) {
+	t.Helper()
+	seen := make([]bool, g.NumNodes())
+	queue := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Neighbors(v) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if count != g.NumNodes() {
+		t.Fatalf("grid %s disconnected: reached %d of %d nodes", g.Name(), count, g.NumNodes())
+	}
+}
+
+func TestGenerateSyntheticDefaults(t *testing.T) {
+	// Table 4 defaults: |V|=400, |E|=846, D_max=9.
+	g, err := GenerateSynthetic(SyntheticConfig{Nodes: 400, Edges: 846, MaxOutDegree: 9, Seed: 1})
+	if err != nil {
+		t.Fatalf("GenerateSynthetic: %v", err)
+	}
+	if g.NumNodes() != 400 {
+		t.Errorf("nodes = %d, want 400", g.NumNodes())
+	}
+	if g.NumEdges() != 846 {
+		t.Errorf("edges = %d, want 846", g.NumEdges())
+	}
+	if g.MaxOutDegree() > 9 {
+		t.Errorf("max out-degree = %d, cap 9", g.MaxOutDegree())
+	}
+	checkConnected(t, g)
+}
+
+func TestGenerateSyntheticDeterministic(t *testing.T) {
+	cfg := SyntheticConfig{Nodes: 100, Edges: 220, MaxOutDegree: 7, Seed: 42}
+	g1, err1 := GenerateSynthetic(cfg)
+	g2, err2 := GenerateSynthetic(cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v %v", err1, err2)
+	}
+	if g1.NumArcs() != g2.NumArcs() {
+		t.Fatalf("not deterministic: %d vs %d arcs", g1.NumArcs(), g2.NumArcs())
+	}
+	for v := 0; v < g1.NumNodes(); v++ {
+		if g1.Pos(NodeID(v)) != g2.Pos(NodeID(v)) {
+			t.Fatalf("node %d differs between runs", v)
+		}
+		e1, e2 := g1.Neighbors(NodeID(v)), g2.Neighbors(NodeID(v))
+		if len(e1) != len(e2) {
+			t.Fatalf("node %d degree differs", v)
+		}
+		for i := range e1 {
+			if e1[i].To != e2[i].To {
+				t.Fatalf("node %d edges differ", v)
+			}
+		}
+	}
+}
+
+func TestGenerateSyntheticSweepSizes(t *testing.T) {
+	// The Figure 5 sweeps need many sizes; spot-check a representative set.
+	for _, n := range []int{50, 200, 800} {
+		edges := n * 2
+		g, err := GenerateSynthetic(SyntheticConfig{Nodes: n, Edges: edges, MaxOutDegree: 9, Seed: int64(n)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if g.NumNodes() != n || g.NumEdges() != edges {
+			t.Errorf("n=%d: got |V|=%d |E|=%d", n, g.NumNodes(), g.NumEdges())
+		}
+		checkConnected(t, g)
+	}
+}
+
+func TestGenerateSyntheticValidation(t *testing.T) {
+	cases := []SyntheticConfig{
+		{Nodes: 1, Edges: 0, MaxOutDegree: 4},    // too few nodes
+		{Nodes: 10, Edges: 5, MaxOutDegree: 4},   // under tree edges
+		{Nodes: 10, Edges: 100, MaxOutDegree: 4}, // over degree-cap max
+		{Nodes: 10, Edges: 9, MaxOutDegree: 1},   // degree cap too small
+	}
+	for i, cfg := range cases {
+		if _, err := GenerateSynthetic(cfg); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, cfg)
+		}
+	}
+}
+
+func TestGenerateSyntheticDegreeCapRespected(t *testing.T) {
+	g, err := GenerateSynthetic(SyntheticConfig{Nodes: 150, Edges: 440, MaxOutDegree: 6, Seed: 3})
+	if err != nil {
+		t.Fatalf("GenerateSynthetic: %v", err)
+	}
+	// Dense relative to the cap (avg degree 5.87 of max 6); every node must
+	// still respect it unless a connectivity bridge was forced.
+	over := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.OutDegree(NodeID(v)) > 6 {
+			over++
+		}
+	}
+	if over > g.NumNodes()/50 {
+		t.Errorf("%d nodes exceed the degree cap", over)
+	}
+	checkConnected(t, g)
+}
+
+func TestGenerateOceanMeshCaribbean(t *testing.T) {
+	g, err := CaribbeanGrid(7)
+	if err != nil {
+		t.Fatalf("CaribbeanGrid: %v", err)
+	}
+	if g.NumNodes() != 710 {
+		t.Errorf("nodes = %d, want 710 (Table 3)", g.NumNodes())
+	}
+	if g.NumEdges() != 1684 {
+		t.Errorf("edges = %d, want 1684 (Table 3)", g.NumEdges())
+	}
+	if g.MaxOutDegree() > 6 {
+		t.Errorf("out-degree %d exceeds the paper's mesh cap of 6", g.MaxOutDegree())
+	}
+	if g.Metric() != geo.Geodesic {
+		t.Error("ocean mesh must be geodesic")
+	}
+	checkConnected(t, g)
+	// All nodes inside the declared region.
+	for v := 0; v < g.NumNodes(); v++ {
+		if !caribbeanRegion.Contains(g.Pos(NodeID(v))) {
+			t.Fatalf("node %d outside region", v)
+		}
+	}
+}
+
+func TestGenerateOceanMeshCoastalDensity(t *testing.T) {
+	// The mesh must be denser near coastlines: compare nearest-neighbor
+	// spacing of the closest-to-coast decile against the open-ocean decile.
+	cfg := OceanMeshConfig{
+		Name: "density-check", Region: caribbeanRegion,
+		Nodes: 600, Edges: 1400, MaxOutDegree: 6, Seed: 11,
+	}
+	g, err := GenerateOceanMesh(cfg)
+	if err != nil {
+		t.Fatalf("GenerateOceanMesh: %v", err)
+	}
+	lf := newLandField(rand.New(rand.NewSource(cfg.Seed)), cfg.Region, 5)
+	type nd struct {
+		close   float64
+		spacing float64
+	}
+	var nds []nd
+	for v := 0; v < g.NumNodes(); v++ {
+		min := -1.0
+		for _, e := range g.Neighbors(NodeID(v)) {
+			if min < 0 || e.Weight < min {
+				min = e.Weight
+			}
+		}
+		nds = append(nds, nd{lf.coastCloseness(g.Pos(NodeID(v))), min})
+	}
+	coastal, open := 0.0, 0.0
+	nc, no := 0, 0
+	for _, x := range nds {
+		if x.close > 0.8 {
+			coastal += x.spacing
+			nc++
+		} else if x.close < 0.2 {
+			open += x.spacing
+			no++
+		}
+	}
+	if nc < 10 || no < 10 {
+		t.Skipf("too few nodes in density buckets (%d coastal, %d open)", nc, no)
+	}
+	if coastal/float64(nc) >= open/float64(no) {
+		t.Errorf("coastal spacing %.3f not tighter than open-ocean %.3f",
+			coastal/float64(nc), open/float64(no))
+	}
+}
+
+func TestGenerateOceanMeshValidation(t *testing.T) {
+	base := OceanMeshConfig{Name: "x", Region: caribbeanRegion, Nodes: 100, Edges: 220, MaxOutDegree: 6}
+	bad := base
+	bad.Nodes = 1
+	if _, err := GenerateOceanMesh(bad); err == nil {
+		t.Error("1 node should fail")
+	}
+	bad = base
+	bad.Edges = 10
+	if _, err := GenerateOceanMesh(bad); err == nil {
+		t.Error("too few edges should fail")
+	}
+	bad = base
+	bad.Edges = 10000
+	if _, err := GenerateOceanMesh(bad); err == nil {
+		t.Error("too many edges should fail")
+	}
+	bad = base
+	bad.Region = geo.Rect{}
+	if _, err := GenerateOceanMesh(bad); err == nil {
+		t.Error("empty region should fail")
+	}
+}
+
+func TestTable3AllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large meshes; skipped with -short")
+	}
+	g, err := NorthAmericaShoreGrid(1)
+	if err != nil {
+		t.Fatalf("NorthAmericaShoreGrid: %v", err)
+	}
+	if g.NumNodes() != 3291 || g.NumEdges() != 7811 {
+		t.Errorf("NA shore: |V|=%d |E|=%d, want 3291/7811", g.NumNodes(), g.NumEdges())
+	}
+	checkConnected(t, g)
+}

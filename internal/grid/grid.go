@@ -1,0 +1,331 @@
+// Package grid implements the discrete grid G = (V, E) that the Route
+// Planning Problem operates on (Section 2.1 of the paper), together with the
+// two grid sources used in the evaluation: synthetic generators mirroring
+// the paper's NetworkX-based grids (Section 4.1.1-II) and procedural ocean
+// meshes standing in for the GSHHG/Gmsh real-world grids (Section 4.1.1-I).
+//
+// The grid is a directed weighted graph. The weight of an edge v_p -> v_q is
+// the distance between the endpoint positions under the grid's metric, so
+// weights are always consistent with geometry. Grids are immutable once
+// built; planners and simulations share them freely across goroutines.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/routeplanning/mamorl/internal/geo"
+)
+
+// NodeID identifies a node in a grid. IDs are dense indices in [0, NumNodes).
+type NodeID int32
+
+// None is the sentinel value for "no node".
+const None NodeID = -1
+
+// Edge is a directed arc to a neighboring node with its travel distance.
+type Edge struct {
+	To     NodeID  `json:"to"`
+	Weight float64 `json:"weight"`
+}
+
+// Grid is an immutable directed weighted graph embedded in the plane or on
+// the globe. Construct one with a Builder or a generator.
+type Grid struct {
+	name   string
+	metric geo.Metric
+	pos    []geo.Point
+	adj    [][]Edge
+
+	arcs         int
+	edges        int // undirected pair count (arcs where both directions exist count once)
+	maxOutDegree int
+	maxEdgeW     float64
+	bounds       geo.Rect
+	index        *spatialIndex
+}
+
+// MaxEdgeWeight returns the largest arc weight: an upper bound on the
+// distance one move can cover, used by planners to bound where a teammate
+// may have sailed since its last known position.
+func (g *Grid) MaxEdgeWeight() float64 { return g.maxEdgeW }
+
+// Name returns the human-readable grid name (e.g. "caribbean").
+func (g *Grid) Name() string { return g.name }
+
+// Metric returns the distance metric positions are measured under.
+func (g *Grid) Metric() geo.Metric { return g.metric }
+
+// NumNodes returns |V|.
+func (g *Grid) NumNodes() int { return len(g.pos) }
+
+// NumEdges returns |E| counted as undirected pairs, matching how the paper's
+// Table 3 reports edge counts for its mesh datasets. A symmetric pair of
+// arcs contributes 1; a one-way arc also contributes 1.
+func (g *Grid) NumEdges() int { return g.edges }
+
+// NumArcs returns the number of directed arcs.
+func (g *Grid) NumArcs() int { return g.arcs }
+
+// MaxOutDegree returns D_max, the maximum out-degree over all nodes. It is
+// the normalizer of the exploration reward (Equation 1).
+func (g *Grid) MaxOutDegree() int { return g.maxOutDegree }
+
+// Pos returns the position of node v.
+func (g *Grid) Pos(v NodeID) geo.Point { return g.pos[v] }
+
+// Neighbors returns the out-edges of v. The returned slice is shared and
+// must not be modified.
+func (g *Grid) Neighbors(v NodeID) []Edge { return g.adj[v] }
+
+// OutDegree returns the number of out-edges of v.
+func (g *Grid) OutDegree(v NodeID) int { return len(g.adj[v]) }
+
+// EdgeWeight returns the weight of the arc v -> w, or an error if the arc
+// does not exist.
+func (g *Grid) EdgeWeight(v, w NodeID) (float64, error) {
+	for _, e := range g.adj[v] {
+		if e.To == w {
+			return e.Weight, nil
+		}
+	}
+	return 0, fmt.Errorf("grid: no edge %d -> %d", v, w)
+}
+
+// HasEdge reports whether the arc v -> w exists.
+func (g *Grid) HasEdge(v, w NodeID) bool {
+	_, err := g.EdgeWeight(v, w)
+	return err == nil
+}
+
+// Bounds returns the bounding rectangle of all node positions.
+func (g *Grid) Bounds() geo.Rect { return g.bounds }
+
+// Distance returns the metric distance between the positions of two nodes.
+func (g *Grid) Distance(v, w NodeID) float64 {
+	return g.metric.Distance(g.pos[v], g.pos[w])
+}
+
+// WithinRadius returns all nodes whose position lies within distance r of
+// the position of node v, including v itself. This is the sensing primitive:
+// an asset at v with sensing radius r observes exactly these nodes
+// (Section 2.2). Results are sorted by NodeID for determinism.
+func (g *Grid) WithinRadius(v NodeID, r float64) []NodeID {
+	out := g.index.withinRadius(g, g.pos[v], r)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEachWithinRadius visits every node within distance r of node v without
+// allocating. Simulation sensing and planner feature extraction issue this
+// query for every asset and candidate move at every epoch; order is
+// unspecified (use WithinRadius when determinism of order matters).
+func (g *Grid) ForEachWithinRadius(v NodeID, r float64, fn func(NodeID)) {
+	g.index.forEachWithinRadius(g, g.pos[v], r, fn)
+}
+
+// NearestNode returns the node whose position is closest to p.
+func (g *Grid) NearestNode(p geo.Point) NodeID {
+	return g.index.nearest(g, p)
+}
+
+// NodesInRect returns all nodes whose positions fall inside rect, sorted by
+// NodeID. The partial-knowledge planner uses this to delimit the region the
+// destination is known to lie in.
+func (g *Grid) NodesInRect(rect geo.Rect) []NodeID {
+	var out []NodeID
+	for v := range g.pos {
+		if rect.Contains(g.pos[v]) {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// Builder assembles a Grid. Zero value is not usable; call NewBuilder.
+type Builder struct {
+	name   string
+	metric geo.Metric
+	pos    []geo.Point
+	adj    []map[NodeID]bool
+	edges  int // undirected pair count, maintained incrementally
+}
+
+// NewBuilder returns a Builder for a grid measured under metric.
+func NewBuilder(name string, metric geo.Metric) *Builder {
+	return &Builder{name: name, metric: metric}
+}
+
+// AddNode appends a node at position p and returns its ID.
+func (b *Builder) AddNode(p geo.Point) NodeID {
+	b.pos = append(b.pos, p)
+	b.adj = append(b.adj, make(map[NodeID]bool, 8))
+	return NodeID(len(b.pos) - 1)
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.pos) }
+
+// Pos returns the position of an already-added node.
+func (b *Builder) Pos(v NodeID) geo.Point { return b.pos[v] }
+
+// AddArc adds the directed arc v -> w. Adding an existing arc or a self-loop
+// is a no-op (the RPP has no use for self-loop travel; waiting is an action,
+// not an edge).
+func (b *Builder) AddArc(v, w NodeID) {
+	if v == w || b.adj[v][w] {
+		return
+	}
+	b.adj[v][w] = true
+	if !b.adj[w][v] {
+		b.edges++ // first arc of this pair
+	}
+}
+
+// AddEdge adds the symmetric pair of arcs v <-> w.
+func (b *Builder) AddEdge(v, w NodeID) {
+	b.AddArc(v, w)
+	b.AddArc(w, v)
+}
+
+// RemoveEdge removes both arcs between v and w if present.
+func (b *Builder) RemoveEdge(v, w NodeID) {
+	if b.adj[v][w] || b.adj[w][v] {
+		b.edges--
+	}
+	delete(b.adj[v], w)
+	delete(b.adj[w], v)
+}
+
+// HasEdge reports whether the arc v -> w is present.
+func (b *Builder) HasEdge(v, w NodeID) bool { return b.adj[v][w] }
+
+// OutDegree returns the current out-degree of v.
+func (b *Builder) OutDegree(v NodeID) int { return len(b.adj[v]) }
+
+// UndirectedEdgeCount returns the number of undirected pairs currently in
+// the builder (a one-way arc counts as one pair).
+func (b *Builder) UndirectedEdgeCount() int { return b.edges }
+
+// Build finalizes the grid. Edge weights are computed from node positions
+// under the metric. Build returns an error if the grid has no nodes or any
+// node has no outgoing edge (an asset there could only wait forever).
+func (b *Builder) Build() (*Grid, error) {
+	if len(b.pos) == 0 {
+		return nil, fmt.Errorf("grid %q: no nodes", b.name)
+	}
+	g := &Grid{
+		name:   b.name,
+		metric: b.metric,
+		pos:    append([]geo.Point(nil), b.pos...),
+		adj:    make([][]Edge, len(b.pos)),
+	}
+	for v, m := range b.adj {
+		if len(m) == 0 {
+			return nil, fmt.Errorf("grid %q: node %d has out-degree 0", b.name, v)
+		}
+		edges := make([]Edge, 0, len(m))
+		for w := range m {
+			weight := b.metric.Distance(b.pos[v], b.pos[w])
+			if weight <= 0 {
+				// Coincident nodes produce zero-weight edges, which break the
+				// time model (weight / speed = 0 time). Nudge to a tiny
+				// positive value.
+				weight = 1e-9
+			}
+			edges = append(edges, Edge{To: w, Weight: weight})
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i].To < edges[j].To })
+		g.adj[v] = edges
+		g.arcs += len(edges)
+		if len(edges) > g.maxOutDegree {
+			g.maxOutDegree = len(edges)
+		}
+		for _, e := range edges {
+			if e.Weight > g.maxEdgeW {
+				g.maxEdgeW = e.Weight
+			}
+		}
+	}
+	g.edges = b.edges
+	g.bounds = geo.Bound(g.pos)
+	g.index = newSpatialIndex(g)
+	return g, nil
+}
+
+// MustBuild is Build that panics on error, for generators whose construction
+// is guaranteed valid and for tests.
+func (b *Builder) MustBuild() *Grid {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// AvgEdgeWeight returns the mean arc weight, a convenient scale for sensing
+// radii and region sizes in experiments.
+func (g *Grid) AvgEdgeWeight() float64 {
+	if g.arcs == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, edges := range g.adj {
+		for _, e := range edges {
+			sum += e.Weight
+		}
+	}
+	return sum / float64(g.arcs)
+}
+
+// Stats summarizes a grid for logging and the Table 3 reproduction.
+type Stats struct {
+	Name         string
+	Nodes        int
+	Edges        int
+	Arcs         int
+	MaxOutDegree int
+	AvgOutDegree float64
+	AvgEdgeW     float64
+}
+
+// Stats returns summary statistics of the grid.
+func (g *Grid) Stats() Stats {
+	return Stats{
+		Name:         g.name,
+		Nodes:        g.NumNodes(),
+		Edges:        g.NumEdges(),
+		Arcs:         g.NumArcs(),
+		MaxOutDegree: g.MaxOutDegree(),
+		AvgOutDegree: float64(g.arcs) / float64(len(g.pos)),
+		AvgEdgeW:     g.AvgEdgeWeight(),
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: |V|=%d |E|=%d arcs=%d Dmax=%d avgDeg=%.2f avgW=%.3f",
+		s.Name, s.Nodes, s.Edges, s.Arcs, s.MaxOutDegree, s.AvgOutDegree, s.AvgEdgeW)
+}
+
+// clampInt bounds v to [lo, hi].
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// approxCellSize picks a spatial-index cell size from the grid extent so
+// that cells hold a handful of nodes each.
+func approxCellSize(bounds geo.Rect, n int) float64 {
+	area := bounds.Width() * bounds.Height()
+	if area <= 0 || n == 0 {
+		return 1
+	}
+	return math.Sqrt(area/float64(n)) * 2
+}

@@ -1,0 +1,107 @@
+package grid
+
+import (
+	"math"
+
+	"github.com/routeplanning/mamorl/internal/geo"
+)
+
+// spatialIndex is a uniform bucket grid over node positions. It accelerates
+// the sensing query WithinRadius, which every asset issues at every decision
+// epoch, and nearest-node lookups during setup.
+type spatialIndex struct {
+	cell   float64
+	cols   int
+	rows   int
+	origin geo.Point
+	cells  [][]NodeID
+	// degPerUnitX/Y convert one metric distance unit into coordinate
+	// degrees (or planar units) along each axis, conservatively, so a
+	// radius query can be turned into a safe cell range.
+	degPerUnitX float64
+	degPerUnitY float64
+}
+
+func newSpatialIndex(g *Grid) *spatialIndex {
+	b := g.bounds
+	cell := approxCellSize(b, g.NumNodes())
+	cols := clampInt(int(math.Ceil(b.Width()/cell))+1, 1, 4096)
+	rows := clampInt(int(math.Ceil(b.Height()/cell))+1, 1, 4096)
+
+	idx := &spatialIndex{
+		cell:        cell,
+		cols:        cols,
+		rows:        rows,
+		origin:      geo.Point{X: b.MinX, Y: b.MinY},
+		cells:       make([][]NodeID, cols*rows),
+		degPerUnitX: 1,
+		degPerUnitY: 1,
+	}
+	if g.metric == geo.Geodesic {
+		// 1 NM = 1/60 degree of latitude. Longitude degrees are shorter by
+		// cos(lat); use the worst case over the grid's latitude range so the
+		// cell window always covers the true radius.
+		maxAbsLat := math.Max(math.Abs(b.MinY), math.Abs(b.MaxY))
+		if maxAbsLat > 85 {
+			maxAbsLat = 85
+		}
+		idx.degPerUnitY = 1.0 / 60.0
+		idx.degPerUnitX = 1.0 / (60.0 * math.Cos(maxAbsLat*math.Pi/180))
+	}
+	for v, p := range g.pos {
+		c := idx.cellIndex(p)
+		idx.cells[c] = append(idx.cells[c], NodeID(v))
+	}
+	return idx
+}
+
+func (idx *spatialIndex) cellIndex(p geo.Point) int {
+	cx := clampInt(int((p.X-idx.origin.X)/idx.cell), 0, idx.cols-1)
+	cy := clampInt(int((p.Y-idx.origin.Y)/idx.cell), 0, idx.rows-1)
+	return cy*idx.cols + cx
+}
+
+// withinRadius returns the IDs of all nodes within metric distance r of p.
+func (idx *spatialIndex) withinRadius(g *Grid, p geo.Point, r float64) []NodeID {
+	var out []NodeID
+	idx.forEachWithinRadius(g, p, r, func(v NodeID) { out = append(out, v) })
+	return out
+}
+
+// forEachWithinRadius visits all nodes within metric distance r of p
+// without allocating.
+func (idx *spatialIndex) forEachWithinRadius(g *Grid, p geo.Point, r float64, fn func(NodeID)) {
+	if r < 0 {
+		return
+	}
+	rx := r * idx.degPerUnitX
+	ry := r * idx.degPerUnitY
+	x0 := clampInt(int((p.X-rx-idx.origin.X)/idx.cell), 0, idx.cols-1)
+	x1 := clampInt(int((p.X+rx-idx.origin.X)/idx.cell), 0, idx.cols-1)
+	y0 := clampInt(int((p.Y-ry-idx.origin.Y)/idx.cell), 0, idx.rows-1)
+	y1 := clampInt(int((p.Y+ry-idx.origin.Y)/idx.cell), 0, idx.rows-1)
+
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			for _, v := range idx.cells[cy*idx.cols+cx] {
+				if g.metric.Distance(p, g.pos[v]) <= r {
+					fn(v)
+				}
+			}
+		}
+	}
+}
+
+// nearest returns the node closest to p. Lookups are rare (scenario setup),
+// so a straightforward scan with early cell pruning suffices.
+func (idx *spatialIndex) nearest(g *Grid, p geo.Point) NodeID {
+	best := None
+	bestD := math.Inf(1)
+	for v := range g.pos {
+		if d := g.metric.Distance(p, g.pos[v]); d < bestD {
+			bestD = d
+			best = NodeID(v)
+		}
+	}
+	return best
+}

@@ -1,0 +1,143 @@
+package grid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/geo"
+)
+
+// bruteWithinRadius is the O(V) oracle for the spatial index.
+func bruteWithinRadius(g *Grid, v NodeID, r float64) []NodeID {
+	var out []NodeID
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.Metric().Distance(g.Pos(v), g.Pos(NodeID(u))) <= r {
+			out = append(out, NodeID(u))
+		}
+	}
+	return out
+}
+
+func sameIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWithinRadiusMatchesBruteForcePlanar fuzzes the bucket index against
+// the oracle on planar grids.
+func TestWithinRadiusMatchesBruteForcePlanar(t *testing.T) {
+	g, err := GenerateSynthetic(SyntheticConfig{Nodes: 300, Edges: 640, MaxOutDegree: 8, Seed: 12})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		v := NodeID(rng.Intn(g.NumNodes()))
+		r := rng.Float64() * 40
+		got := g.WithinRadius(v, r)
+		want := bruteWithinRadius(g, v, r)
+		if !sameIDs(got, want) {
+			t.Fatalf("trial %d: node %d r %v: index %d nodes, oracle %d", trial, v, r, len(got), len(want))
+		}
+	}
+}
+
+// TestWithinRadiusMatchesBruteForceGeodesic repeats the fuzz on a geodesic
+// mesh, where the cell window must conservatively convert nautical miles
+// into degrees across latitudes.
+func TestWithinRadiusMatchesBruteForceGeodesic(t *testing.T) {
+	g, err := GenerateOceanMesh(OceanMeshConfig{
+		Name:   "fuzz",
+		Region: geo.NewRect(geo.Point{X: -80, Y: -35}, geo.Point{X: 10, Y: 60}),
+		Nodes:  400, Edges: 900, MaxOutDegree: 6, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 150; trial++ {
+		v := NodeID(rng.Intn(g.NumNodes()))
+		r := rng.Float64() * 600 // up to 600 NM
+		got := g.WithinRadius(v, r)
+		want := bruteWithinRadius(g, v, r)
+		if !sameIDs(got, want) {
+			t.Fatalf("trial %d: node %d r %v NM: index %d nodes, oracle %d", trial, v, r, len(got), len(want))
+		}
+	}
+}
+
+// TestForEachWithinRadiusMatchesSlice checks the allocation-free iterator
+// visits exactly the WithinRadius set.
+func TestForEachWithinRadiusMatchesSlice(t *testing.T) {
+	g, err := GenerateSynthetic(SyntheticConfig{Nodes: 150, Edges: 330, MaxOutDegree: 8, Seed: 5})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		v := NodeID(rng.Intn(g.NumNodes()))
+		r := rng.Float64() * 30
+		var visited []NodeID
+		g.ForEachWithinRadius(v, r, func(u NodeID) { visited = append(visited, u) })
+		if !sameIDs(visited, g.WithinRadius(v, r)) {
+			t.Fatalf("iterator and slice disagree at node %d r %v", v, r)
+		}
+	}
+}
+
+// TestNearestNodeMatchesBruteForce fuzzes NearestNode.
+func TestNearestNodeMatchesBruteForce(t *testing.T) {
+	g, err := GenerateSynthetic(SyntheticConfig{Nodes: 200, Edges: 430, MaxOutDegree: 8, Seed: 6})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	b := g.Bounds()
+	for trial := 0; trial < 100; trial++ {
+		p := geo.Point{
+			X: b.MinX + rng.Float64()*b.Width(),
+			Y: b.MinY + rng.Float64()*b.Height(),
+		}
+		got := g.NearestNode(p)
+		best, bestD := NodeID(-1), 0.0
+		for v := 0; v < g.NumNodes(); v++ {
+			d := g.Metric().Distance(p, g.Pos(NodeID(v)))
+			if best < 0 || d < bestD {
+				best, bestD = NodeID(v), d
+			}
+		}
+		gotD := g.Metric().Distance(p, g.Pos(got))
+		if gotD > bestD+1e-12 {
+			t.Fatalf("NearestNode(%v) = %d at %v; oracle %d at %v", p, got, gotD, best, bestD)
+		}
+	}
+}
+
+// TestMaxEdgeWeight checks the cached bound.
+func TestMaxEdgeWeight(t *testing.T) {
+	g, err := GenerateSynthetic(SyntheticConfig{Nodes: 100, Edges: 210, MaxOutDegree: 7, Seed: 7})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	max := 0.0
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.Neighbors(NodeID(v)) {
+			if e.Weight > max {
+				max = e.Weight
+			}
+		}
+	}
+	if g.MaxEdgeWeight() != max {
+		t.Errorf("MaxEdgeWeight = %v, scan says %v", g.MaxEdgeWeight(), max)
+	}
+}

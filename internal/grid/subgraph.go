@@ -1,0 +1,63 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Subgraph extracts the induced subgraph on the given nodes, reindexing
+// them densely in the order given. It is used to carve small training
+// regions out of large ocean meshes (the transfer-learning experiment
+// trains its sample source on a basin subregion, since exact MaMoRL cannot
+// run on a full mesh). Returns an error if the induced subgraph would leave
+// any node without an out-edge.
+func Subgraph(g *Grid, nodes []NodeID, name string) (*Grid, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("grid: empty subgraph")
+	}
+	index := make(map[NodeID]NodeID, len(nodes))
+	b := NewBuilder(name, g.metric)
+	for i, v := range nodes {
+		if v < 0 || int(v) >= g.NumNodes() {
+			return nil, fmt.Errorf("grid: subgraph node %d outside grid", v)
+		}
+		if _, dup := index[v]; dup {
+			return nil, fmt.Errorf("grid: duplicate subgraph node %d", v)
+		}
+		index[v] = NodeID(i)
+		b.AddNode(g.Pos(v))
+	}
+	for _, v := range nodes {
+		for _, e := range g.Neighbors(v) {
+			if w, ok := index[e.To]; ok {
+				b.AddArc(index[v], w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Neighborhood returns up to size nodes discovered by BFS from start,
+// sorted by node ID: a compact connected region suitable for Subgraph.
+func Neighborhood(g *Grid, start NodeID, size int) []NodeID {
+	visited := map[NodeID]bool{start: true}
+	order := []NodeID{start}
+	queue := []NodeID{start}
+	for len(queue) > 0 && len(order) < size {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Neighbors(v) {
+			if visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			order = append(order, e.To)
+			if len(order) >= size {
+				break
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	return order
+}

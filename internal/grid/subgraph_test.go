@@ -1,0 +1,162 @@
+package grid
+
+import "testing"
+
+func TestSubgraphInduced(t *testing.T) {
+	g := lineGrid(t, 10)
+	sub, err := Subgraph(g, []NodeID{2, 3, 4, 5}, "mid")
+	if err != nil {
+		t.Fatalf("Subgraph: %v", err)
+	}
+	if sub.NumNodes() != 4 || sub.NumEdges() != 3 {
+		t.Errorf("sub = %v", sub.Stats())
+	}
+	// Positions preserved, reindexed in order.
+	if sub.Pos(0) != g.Pos(2) || sub.Pos(3) != g.Pos(5) {
+		t.Error("positions not preserved")
+	}
+	if !sub.HasEdge(0, 1) || sub.HasEdge(0, 2) {
+		t.Error("induced edges wrong")
+	}
+}
+
+func TestSubgraphErrors(t *testing.T) {
+	g := lineGrid(t, 10)
+	if _, err := Subgraph(g, nil, "x"); err == nil {
+		t.Error("empty node set accepted")
+	}
+	if _, err := Subgraph(g, []NodeID{1, 1}, "x"); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := Subgraph(g, []NodeID{99}, "x"); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	// Disconnected pick leaves isolated nodes -> Build fails.
+	if _, err := Subgraph(g, []NodeID{0, 5}, "x"); err == nil {
+		t.Error("isolated-node subgraph accepted")
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	g := lineGrid(t, 20)
+	nodes := Neighborhood(g, 10, 5)
+	if len(nodes) != 5 {
+		t.Fatalf("Neighborhood size = %d", len(nodes))
+	}
+	// BFS from 10 over a line yields a contiguous window around 10.
+	for _, v := range nodes {
+		if v < 8 || v > 12 {
+			t.Errorf("node %d outside expected window", v)
+		}
+	}
+	sub, err := Subgraph(g, nodes, "window")
+	if err != nil {
+		t.Fatalf("Subgraph of neighborhood: %v", err)
+	}
+	if sub.NumNodes() != 5 {
+		t.Errorf("sub nodes = %d", sub.NumNodes())
+	}
+}
+
+func TestNeighborhoodLargerThanGrid(t *testing.T) {
+	g := lineGrid(t, 5)
+	nodes := Neighborhood(g, 0, 50)
+	if len(nodes) != 5 {
+		t.Errorf("Neighborhood clamped = %d, want 5", len(nodes))
+	}
+}
+
+func TestSubgraphOnSynthetic(t *testing.T) {
+	g, err := GenerateSynthetic(SyntheticConfig{Nodes: 200, Edges: 430, MaxOutDegree: 8, Seed: 3})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	nodes := Neighborhood(g, 17, 50)
+	if len(nodes) != 50 {
+		t.Fatalf("neighborhood = %d", len(nodes))
+	}
+	sub, err := Subgraph(g, nodes, "region")
+	if err != nil {
+		t.Fatalf("Subgraph: %v", err)
+	}
+	if sub.NumNodes() != 50 {
+		t.Errorf("sub = %v", sub.Stats())
+	}
+	// Connectivity of the BFS region.
+	seen := map[NodeID]bool{0: true}
+	queue := []NodeID{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range sub.Neighbors(v) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(seen) != 50 {
+		t.Errorf("BFS neighborhood subgraph disconnected: %d of 50", len(seen))
+	}
+}
+
+func TestPathTopology(t *testing.T) {
+	g := Path("p", 5, 2)
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("Path = %v", g.Stats())
+	}
+	if w, _ := g.EdgeWeight(1, 2); w != 2 {
+		t.Errorf("spacing = %v", w)
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	g := Ring("r", 8, 1)
+	if g.NumNodes() != 8 || g.NumEdges() != 8 {
+		t.Fatalf("Ring = %v", g.Stats())
+	}
+	for v := 0; v < 8; v++ {
+		if g.OutDegree(NodeID(v)) != 2 {
+			t.Errorf("node %d degree %d", v, g.OutDegree(NodeID(v)))
+		}
+		w, err := g.EdgeWeight(NodeID(v), NodeID((v+1)%8))
+		if err != nil || w < 0.99 || w > 1.01 {
+			t.Errorf("ring edge %d weight %v err %v", v, w, err)
+		}
+	}
+}
+
+func TestLatticeTopology(t *testing.T) {
+	g := Lattice("l", 4, 3)
+	if g.NumNodes() != 12 {
+		t.Fatalf("Lattice nodes = %d", g.NumNodes())
+	}
+	// Edges: horizontal 3*3 + vertical 4*2 = 17.
+	if g.NumEdges() != 17 {
+		t.Errorf("Lattice edges = %d, want 17", g.NumEdges())
+	}
+	// Interior node degree 4, corner degree 2.
+	if g.OutDegree(5) != 4 {
+		t.Errorf("interior degree = %d", g.OutDegree(5))
+	}
+	if g.OutDegree(0) != 2 {
+		t.Errorf("corner degree = %d", g.OutDegree(0))
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"path":    func() { Path("x", 1, 1) },
+		"ring":    func() { Ring("x", 2, 1) },
+		"lattice": func() { Lattice("x", 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,71 @@
+package grid
+
+import (
+	"math"
+
+	"github.com/routeplanning/mamorl/internal/geo"
+)
+
+// Deterministic reference topologies. Tests and examples use these when a
+// predictable structure matters more than realism; the lattice is also the
+// classic "discrete grid" a first-time user expects.
+
+// Path returns n nodes in a line, spaced `spacing` apart, each connected to
+// its neighbors.
+func Path(name string, n int, spacing float64) *Grid {
+	if n < 2 {
+		panic("grid: Path needs at least 2 nodes")
+	}
+	b := NewBuilder(name, geo.Planar)
+	for i := 0; i < n; i++ {
+		b.AddNode(geo.Point{X: float64(i) * spacing, Y: 0})
+	}
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	return b.MustBuild()
+}
+
+// Ring returns n nodes on a circle sized so consecutive nodes are `spacing`
+// apart.
+func Ring(name string, n int, spacing float64) *Grid {
+	if n < 3 {
+		panic("grid: Ring needs at least 3 nodes")
+	}
+	b := NewBuilder(name, geo.Planar)
+	r := spacing / (2 * math.Sin(math.Pi/float64(n)))
+	for i := 0; i < n; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		b.AddNode(geo.Point{X: r * math.Cos(ang), Y: r * math.Sin(ang)})
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(NodeID(i), NodeID((i+1)%n))
+	}
+	return b.MustBuild()
+}
+
+// Lattice returns a w x h 4-connected lattice with unit spacing. Node
+// (x, y) has ID y*w + x.
+func Lattice(name string, w, h int) *Grid {
+	if w < 1 || h < 1 || w*h < 2 {
+		panic("grid: Lattice needs at least 2 nodes")
+	}
+	b := NewBuilder(name, geo.Planar)
+	id := func(x, y int) NodeID { return NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.AddNode(geo.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return b.MustBuild()
+}

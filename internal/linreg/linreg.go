@@ -1,0 +1,209 @@
+// Package linreg implements ordinary least-squares linear regression, the
+// workhorse of Approx-MaMoRL (Section 3.3): the Teammate and Learning
+// Modules are approximated by linear functions of hand-crafted features
+// (Equations 9 and 11), fitted by minimizing squared error (Equations 10
+// and 12).
+//
+// Fitting solves the normal equations (XᵀX + λI)w = Xᵀy by Gaussian
+// elimination with partial pivoting. A small default ridge term λ keeps the
+// system well-posed when features are collinear (several of the paper's
+// indicator features frequently are, e.g. α and β can coincide on small
+// grids).
+package linreg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Options configures Fit.
+type Options struct {
+	// Ridge is the L2 regularization strength λ. Negative is invalid; zero
+	// selects DefaultRidge. Use math.SmallestNonzeroFloat64 to effectively
+	// disable regularization.
+	Ridge float64
+	// FitIntercept adds a constant bias term to the model.
+	FitIntercept bool
+}
+
+// DefaultRidge is the regularization used when Options.Ridge is zero.
+const DefaultRidge = 1e-8
+
+// Model is a fitted linear model.
+type Model struct {
+	// Weights are the feature coefficients ω_l.
+	Weights []float64
+	// Intercept is the bias (0 unless FitIntercept was set).
+	Intercept float64
+}
+
+// ErrBadData reports unusable training input.
+var ErrBadData = errors.New("linreg: bad training data")
+
+// Fit solves min_w Σ (y - Xw)² (+ λ‖w‖²).
+func Fit(X [][]float64, y []float64, opts Options) (*Model, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("%w: %d rows, %d targets", ErrBadData, len(X), len(y))
+	}
+	d := len(X[0])
+	if d == 0 {
+		return nil, fmt.Errorf("%w: empty feature vectors", ErrBadData)
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrBadData, i, len(row), d)
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: non-finite feature in row %d", ErrBadData, i)
+			}
+		}
+		if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			return nil, fmt.Errorf("%w: non-finite target in row %d", ErrBadData, i)
+		}
+	}
+	ridge := opts.Ridge
+	switch {
+	case ridge < 0:
+		return nil, fmt.Errorf("%w: negative ridge %v", ErrBadData, ridge)
+	case ridge == 0:
+		ridge = DefaultRidge
+	}
+
+	cols := d
+	if opts.FitIntercept {
+		cols++
+	}
+	// Normal equations: gram = XᵀX + λI, rhs = Xᵀy, with an appended
+	// all-ones column when fitting an intercept.
+	gram := make([][]float64, cols)
+	for i := range gram {
+		gram[i] = make([]float64, cols)
+	}
+	rhs := make([]float64, cols)
+	feat := func(row []float64, j int) float64 {
+		if j == d {
+			return 1
+		}
+		return row[j]
+	}
+	for r, row := range X {
+		for i := 0; i < cols; i++ {
+			fi := feat(row, i)
+			rhs[i] += fi * y[r]
+			for j := i; j < cols; j++ {
+				gram[i][j] += fi * feat(row, j)
+			}
+		}
+	}
+	for i := 0; i < cols; i++ {
+		for j := 0; j < i; j++ {
+			gram[i][j] = gram[j][i]
+		}
+		gram[i][i] += ridge
+	}
+
+	w, err := solve(gram, rhs)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Weights: w[:d:d]}
+	if opts.FitIntercept {
+		m.Intercept = w[d]
+	}
+	return m, nil
+}
+
+// Predict evaluates the model on a feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	if len(x) != len(m.Weights) {
+		panic(fmt.Sprintf("linreg: predict with %d features on a %d-feature model", len(x), len(m.Weights)))
+	}
+	s := m.Intercept
+	for i, w := range m.Weights {
+		s += w * x[i]
+	}
+	return s
+}
+
+// MSE returns the mean squared error of the model over a dataset.
+func (m *Model) MSE(X [][]float64, y []float64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, row := range X {
+		d := m.Predict(row) - y[i]
+		s += d * d
+	}
+	return s / float64(len(X))
+}
+
+// R2 returns the coefficient of determination of the model over a dataset:
+// 1 - SS_res/SS_tot. A constant-target dataset yields 1 when predictions
+// are exact and 0 otherwise.
+func (m *Model) R2(X [][]float64, y []float64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	ssRes, ssTot := 0.0, 0.0
+	for i, row := range X {
+		d := y[i] - m.Predict(row)
+		ssRes += d * d
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// solve performs in-place Gaussian elimination with partial pivoting on the
+// augmented system [A | b].
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot: largest magnitude in this column at or below the diagonal.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-300 {
+			return nil, errors.New("linreg: singular normal equations (increase ridge)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}

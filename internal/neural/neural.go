@@ -1,0 +1,328 @@
+// Package neural implements the small feedforward neural network used by
+// NN-Approx-MaMoRL (Section 3.3). The paper's architecture (Table 5) is two
+// layers — 5 ReLU units followed by 1 linear unit — trained with mini-batch
+// gradient descent on mean squared error (batch size 1000, 10000 epochs).
+//
+// Everything is from scratch on the standard library: dense layers,
+// ReLU/linear activations, backpropagation, and shuffled mini-batch SGD.
+package neural
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+const (
+	// ReLU is max(0, x).
+	ReLU Activation = iota
+	// Linear is the identity.
+	Linear
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case ReLU:
+		return "relu"
+	case Linear:
+		return "linear"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	if a == ReLU && x < 0 {
+		return 0
+	}
+	return x
+}
+
+// derivative of the activation w.r.t. its pre-activation input.
+func (a Activation) derivative(pre float64) float64 {
+	if a == ReLU && pre <= 0 {
+		return 0
+	}
+	return 1
+}
+
+// LayerSpec describes one dense layer.
+type LayerSpec struct {
+	Units      int
+	Activation Activation
+}
+
+// Config describes a network.
+type Config struct {
+	// Inputs is the feature dimension.
+	Inputs int
+	// Layers lists the dense layers in order. The final layer's unit count
+	// is the output dimension (1 for the paper's regression heads).
+	Layers []LayerSpec
+	// Seed drives weight initialization and batch shuffling.
+	Seed int64
+}
+
+// PaperConfig returns the Table 5 architecture for the given input width:
+// 5 ReLU units into 1 linear unit.
+func PaperConfig(inputs int, seed int64) Config {
+	return Config{
+		Inputs: inputs,
+		Layers: []LayerSpec{{Units: 5, Activation: ReLU}, {Units: 1, Activation: Linear}},
+		Seed:   seed,
+	}
+}
+
+// layer is a dense layer with weights [out][in] and biases [out].
+type layer struct {
+	w    [][]float64
+	b    []float64
+	act  Activation
+	in   int
+	outs int
+}
+
+// Network is a feedforward neural network.
+type Network struct {
+	cfg    Config
+	layers []*layer
+	rng    *rand.Rand
+}
+
+// New builds a network with He-style initialization (appropriate for ReLU).
+func New(cfg Config) (*Network, error) {
+	if cfg.Inputs <= 0 {
+		return nil, fmt.Errorf("neural: %d inputs", cfg.Inputs)
+	}
+	if len(cfg.Layers) == 0 {
+		return nil, errors.New("neural: no layers")
+	}
+	n := &Network{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	in := cfg.Inputs
+	for _, spec := range cfg.Layers {
+		if spec.Units <= 0 {
+			return nil, fmt.Errorf("neural: layer with %d units", spec.Units)
+		}
+		l := &layer{
+			w:    make([][]float64, spec.Units),
+			b:    make([]float64, spec.Units),
+			act:  spec.Activation,
+			in:   in,
+			outs: spec.Units,
+		}
+		scale := math.Sqrt(2 / float64(in))
+		for o := range l.w {
+			l.w[o] = make([]float64, in)
+			for i := range l.w[o] {
+				l.w[o][i] = n.rng.NormFloat64() * scale
+			}
+		}
+		n.layers = append(n.layers, l)
+		in = spec.Units
+	}
+	return n, nil
+}
+
+// Outputs returns the output dimension.
+func (n *Network) Outputs() int { return n.layers[len(n.layers)-1].outs }
+
+// NumParams returns the total number of weights and biases; NN-Approx's
+// memory-usage accounting (Table 6) reports this times 8 bytes.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.layers {
+		total += l.outs*l.in + l.outs
+	}
+	return total
+}
+
+// forward runs the network, recording pre-activations and activations per
+// layer for backpropagation. acts[0] is the input itself.
+func (n *Network) forward(x []float64) (pres, acts [][]float64) {
+	acts = append(acts, x)
+	cur := x
+	for _, l := range n.layers {
+		pre := make([]float64, l.outs)
+		out := make([]float64, l.outs)
+		for o := 0; o < l.outs; o++ {
+			s := l.b[o]
+			w := l.w[o]
+			for i, v := range cur {
+				s += w[i] * v
+			}
+			pre[o] = s
+			out[o] = l.act.apply(s)
+		}
+		pres = append(pres, pre)
+		acts = append(acts, out)
+		cur = out
+	}
+	return pres, acts
+}
+
+// Predict evaluates the network; for single-output networks the first
+// element is the regression value.
+func (n *Network) Predict(x []float64) []float64 {
+	if len(x) != n.cfg.Inputs {
+		panic(fmt.Sprintf("neural: predict with %d features on %d-input network", len(x), n.cfg.Inputs))
+	}
+	_, acts := n.forward(x)
+	return acts[len(acts)-1]
+}
+
+// Predict1 is Predict for single-output networks.
+func (n *Network) Predict1(x []float64) float64 { return n.Predict(x)[0] }
+
+// TrainOptions configures SGD. Zero values select the paper's Table 5
+// settings (batch 1000, 10000 epochs) with a default learning rate.
+type TrainOptions struct {
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	// MaxEpochsNoImprove stops early when training MSE has not improved
+	// for this many epochs; 0 disables early stopping.
+	MaxEpochsNoImprove int
+}
+
+// Defaults from Table 5.
+const (
+	DefaultEpochs       = 10000
+	DefaultBatchSize    = 1000
+	DefaultLearningRate = 0.01
+)
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs == 0 {
+		o.Epochs = DefaultEpochs
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = DefaultLearningRate
+	}
+	return o
+}
+
+// Train fits the network to (X, y) with mini-batch SGD on MSE and returns
+// the final training MSE.
+func (n *Network) Train(X [][]float64, y [][]float64, opts TrainOptions) (float64, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return 0, fmt.Errorf("neural: %d rows, %d targets", len(X), len(y))
+	}
+	for i := range X {
+		if len(X[i]) != n.cfg.Inputs {
+			return 0, fmt.Errorf("neural: row %d has %d features, want %d", i, len(X[i]), n.cfg.Inputs)
+		}
+		if len(y[i]) != n.Outputs() {
+			return 0, fmt.Errorf("neural: target %d has %d values, want %d", i, len(y[i]), n.Outputs())
+		}
+	}
+	opts = opts.withDefaults()
+
+	order := make([]int, len(X))
+	for i := range order {
+		order[i] = i
+	}
+	bestMSE := math.Inf(1)
+	stall := 0
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		n.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += opts.BatchSize {
+			end := start + opts.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			n.sgdBatch(X, y, order[start:end], opts.LearningRate)
+		}
+		if opts.MaxEpochsNoImprove > 0 {
+			mse := n.MSE(X, y)
+			if mse < bestMSE-1e-12 {
+				bestMSE = mse
+				stall = 0
+			} else if stall++; stall >= opts.MaxEpochsNoImprove {
+				break
+			}
+		}
+	}
+	return n.MSE(X, y), nil
+}
+
+// sgdBatch accumulates gradients over the batch and applies one update.
+func (n *Network) sgdBatch(X [][]float64, y [][]float64, batch []int, lr float64) {
+	gradW := make([][][]float64, len(n.layers))
+	gradB := make([][]float64, len(n.layers))
+	for li, l := range n.layers {
+		gradW[li] = make([][]float64, l.outs)
+		for o := range gradW[li] {
+			gradW[li][o] = make([]float64, l.in)
+		}
+		gradB[li] = make([]float64, l.outs)
+	}
+
+	for _, idx := range batch {
+		pres, acts := n.forward(X[idx])
+		// Output delta: dMSE/dpre = (pred - target) * act'.
+		last := len(n.layers) - 1
+		delta := make([]float64, n.layers[last].outs)
+		for o := range delta {
+			delta[o] = (acts[last+1][o] - y[idx][o]) * n.layers[last].act.derivative(pres[last][o])
+		}
+		for li := last; li >= 0; li-- {
+			l := n.layers[li]
+			in := acts[li]
+			for o := 0; o < l.outs; o++ {
+				gradB[li][o] += delta[o]
+				gw := gradW[li][o]
+				for i, v := range in {
+					gw[i] += delta[o] * v
+				}
+			}
+			if li > 0 {
+				prev := make([]float64, l.in)
+				for i := 0; i < l.in; i++ {
+					s := 0.0
+					for o := 0; o < l.outs; o++ {
+						s += l.w[o][i] * delta[o]
+					}
+					prev[i] = s * n.layers[li-1].act.derivative(pres[li-1][i])
+				}
+				delta = prev
+			}
+		}
+	}
+
+	scale := lr / float64(len(batch))
+	for li, l := range n.layers {
+		for o := 0; o < l.outs; o++ {
+			l.b[o] -= scale * gradB[li][o]
+			for i := range l.w[o] {
+				l.w[o][i] -= scale * gradW[li][o][i]
+			}
+		}
+	}
+}
+
+// MSE returns the mean squared error over a dataset (averaged over outputs
+// as well as rows).
+func (n *Network) MSE(X [][]float64, y [][]float64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	s := 0.0
+	count := 0
+	for i := range X {
+		out := n.Predict(X[i])
+		for o := range out {
+			d := out[o] - y[i][o]
+			s += d * d
+			count++
+		}
+	}
+	return s / float64(count)
+}

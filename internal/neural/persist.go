@@ -1,0 +1,71 @@
+package neural
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Persistence: a trained network's weights serialize with gob, so
+// NN-Approx-MaMoRL models deploy the same way the linear ones do.
+
+// netFile is the serialized form.
+type netFile struct {
+	Version int
+	Inputs  int
+	Layers  []layerFile
+}
+
+type layerFile struct {
+	W   [][]float64
+	B   []float64
+	Act int
+}
+
+const netFileVersion = 1
+
+// Save writes the network's architecture and weights.
+func (n *Network) Save(w io.Writer) error {
+	nf := netFile{Version: netFileVersion, Inputs: n.cfg.Inputs}
+	for _, l := range n.layers {
+		nf.Layers = append(nf.Layers, layerFile{W: l.w, B: l.b, Act: int(l.act)})
+	}
+	return gob.NewEncoder(w).Encode(nf)
+}
+
+// Load reads a network saved by Save.
+func Load(r io.Reader) (*Network, error) {
+	var nf netFile
+	if err := gob.NewDecoder(r).Decode(&nf); err != nil {
+		return nil, fmt.Errorf("neural: load: %w", err)
+	}
+	if nf.Version != netFileVersion {
+		return nil, fmt.Errorf("neural: file version %d, want %d", nf.Version, netFileVersion)
+	}
+	if nf.Inputs <= 0 || len(nf.Layers) == 0 {
+		return nil, fmt.Errorf("neural: malformed network file")
+	}
+	cfg := Config{Inputs: nf.Inputs}
+	in := nf.Inputs
+	for i, lf := range nf.Layers {
+		if len(lf.W) == 0 || len(lf.B) != len(lf.W) {
+			return nil, fmt.Errorf("neural: layer %d malformed", i)
+		}
+		for _, row := range lf.W {
+			if len(row) != in {
+				return nil, fmt.Errorf("neural: layer %d weight width %d, want %d", i, len(row), in)
+			}
+		}
+		cfg.Layers = append(cfg.Layers, LayerSpec{Units: len(lf.W), Activation: Activation(lf.Act)})
+		in = len(lf.W)
+	}
+	n, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, lf := range nf.Layers {
+		n.layers[i].w = lf.W
+		n.layers[i].b = lf.B
+	}
+	return n, nil
+}

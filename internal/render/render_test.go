@@ -1,0 +1,108 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/vessel"
+)
+
+func tracedMission(t *testing.T) (*grid.Grid, *sim.Trace, sim.Scenario) {
+	t.Helper()
+	g := grid.Lattice("map", 8, 6)
+	sc := sim.Scenario{
+		Grid:      g,
+		Team:      vessel.NewTeam([]grid.NodeID{0, 47}, 1.2, 2),
+		Dest:      grid.NodeID(5*8 + 7), // top-right area
+		CommEvery: 3,
+	}
+	// Drive with a simple random planner until done.
+	tr := sim.NewTrace()
+	m, err := sim.NewMission(sc, sim.RunOptions{})
+	if err != nil {
+		t.Fatalf("NewMission: %v", err)
+	}
+	for !m.Done() {
+		acts := make([]sim.Action, m.NumAssets())
+		for i := range acts {
+			legal := m.LegalActionsFor(i)
+			acts[i] = legal[(m.Step()+i)%len(legal)]
+		}
+		if _, err := m.ExecuteStep(acts); err != nil {
+			t.Fatalf("ExecuteStep: %v", err)
+		}
+		tr.Record(m, acts)
+	}
+	tr.Finish(m.Result())
+	return g, tr, sc
+}
+
+func TestMissionRender(t *testing.T) {
+	g, tr, sc := tracedMission(t)
+	out := Mission(g, tr, nil, sc.Dest, Options{Width: 40, Height: 12})
+	if !strings.Contains(out, "X") {
+		t.Error("destination marker missing")
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Errorf("asset glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "outcome:") {
+		t.Error("outcome line missing")
+	}
+	// Canvas dimensions: border + 12 rows + border + summary.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 15 {
+		t.Errorf("rendered %d lines, want 15", len(lines))
+	}
+	for _, l := range lines[:14] {
+		if len(l) != 42 {
+			t.Errorf("line width %d, want 42: %q", len(l), l)
+		}
+	}
+}
+
+func TestGridRenderWithObstacles(t *testing.T) {
+	g := grid.Lattice("map", 8, 6)
+	out := Grid(g, []grid.NodeID{10, 11, 12}, Options{Width: 40, Height: 12})
+	if !strings.Contains(out, "#") {
+		t.Error("obstacle marker missing")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("node dots missing")
+	}
+	if !strings.Contains(out, "|V|=48") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+}
+
+func TestAssetGlyphs(t *testing.T) {
+	if assetGlyph(0) != '0' || assetGlyph(9) != '9' {
+		t.Error("digit glyphs wrong")
+	}
+	if assetGlyph(10) != 'a' || assetGlyph(35) != 'z' {
+		t.Error("letter glyphs wrong")
+	}
+	if assetGlyph(99) != '?' {
+		t.Error("overflow glyph wrong")
+	}
+}
+
+func TestRenderEmptyTrace(t *testing.T) {
+	g := grid.Lattice("map", 4, 4)
+	out := Mission(g, sim.NewTrace(), nil, 5, Options{})
+	if !strings.Contains(out, "epochs=0") {
+		t.Errorf("empty trace render:\n%s", out)
+	}
+}
+
+func TestDefaultDimensions(t *testing.T) {
+	g := grid.Lattice("map", 4, 4)
+	out := Grid(g, nil, Options{})
+	lines := strings.Split(out, "\n")
+	// border + 24 rows + border + summary + trailing empty
+	if len(lines) != 28 {
+		t.Errorf("default render has %d lines", len(lines))
+	}
+}

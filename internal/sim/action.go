@@ -1,0 +1,87 @@
+// Package sim implements the Team Discrete Markov Decision Process the RPP
+// is formalized as (Section 3.1): the joint state is the locations of all
+// |N| assets, a joint action moves every asset to a neighboring node at a
+// chosen speed or keeps it waiting, transitions are deterministic, and the
+// vector reward of Section 3.1.1 is emitted per transition.
+//
+// The package also simulates the distributed-execution constraints of
+// Section 2.2: each asset senses the grid up to its radius, assets exchange
+// locations and sensed sets every k decision epochs, the finder broadcasts
+// when the destination is discovered, and two assets occupying one node at
+// the same epoch collide.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/routeplanning/mamorl/internal/grid"
+)
+
+// Action is one asset's decision at an epoch: transit to the Neighbor-th
+// out-edge of its current node at Speed, or wait (Section 3.1-b).
+type Action struct {
+	// Neighbor indexes into grid.Neighbors(cur); -1 means wait.
+	Neighbor int
+	// Speed is the chosen speed 1..MaxSpeed; 0 for wait.
+	Speed int
+}
+
+// Wait is the wait action.
+var Wait = Action{Neighbor: -1, Speed: 0}
+
+// IsWait reports whether the action is a wait.
+func (a Action) IsWait() bool { return a.Neighbor < 0 }
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	if a.IsWait() {
+		return "wait"
+	}
+	return fmt.Sprintf("n%d@s%d", a.Neighbor, a.Speed)
+}
+
+// ActionCount returns |A_i(s)| for an asset at a node with the given
+// out-degree and max speed: every neighbor at every speed, plus wait.
+func ActionCount(outDegree, maxSpeed int) int { return outDegree*maxSpeed + 1 }
+
+// EncodeAction maps an action to a dense index in [0, ActionCount). The
+// wait action takes the last index, so indices are stable as long as the
+// out-degree is fixed, which the exact solver's P and Q tables rely on.
+func EncodeAction(a Action, maxSpeed int) int {
+	if a.IsWait() {
+		return -1 // callers must special-case via EncodeActionAt
+	}
+	return a.Neighbor*maxSpeed + (a.Speed - 1)
+}
+
+// EncodeActionAt maps an action at a node of known out-degree to its dense
+// index, with wait as the final index.
+func EncodeActionAt(a Action, outDegree, maxSpeed int) int {
+	if a.IsWait() {
+		return outDegree * maxSpeed
+	}
+	return a.Neighbor*maxSpeed + (a.Speed - 1)
+}
+
+// DecodeActionAt inverts EncodeActionAt.
+func DecodeActionAt(idx, outDegree, maxSpeed int) Action {
+	if idx == outDegree*maxSpeed {
+		return Wait
+	}
+	return Action{Neighbor: idx / maxSpeed, Speed: idx%maxSpeed + 1}
+}
+
+// LegalActions enumerates every action available to an asset standing at
+// node v with the given max speed: each out-neighbor at each speed, then
+// wait. The order matches EncodeActionAt indices.
+func LegalActions(g *grid.Grid, v grid.NodeID, maxSpeed int) []Action {
+	deg := g.OutDegree(v)
+	out := make([]Action, 0, ActionCount(deg, maxSpeed))
+	for n := 0; n < deg; n++ {
+		for s := 1; s <= maxSpeed; s++ {
+			out = append(out, Action{Neighbor: n, Speed: s})
+		}
+	}
+	out = append(out, Wait)
+	return out
+}

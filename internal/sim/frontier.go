@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math/rand"
+
+	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/vessel"
+)
+
+// FrontierStep computes a step toward the nearest node asset i has not
+// sensed: BFS over hops from the current node, then the first edge of the
+// path, at the speed minimizing the time/fuel average (the Table 2 speed
+// rule). Every cooperative planner in this repository falls back to it when
+// no immediate move senses anything new — without it, greedy policies
+// oscillate between two fully-sensed nodes forever (DESIGN.md §2).
+//
+// When voronoi is set, frontier nodes are partitioned against believed
+// teammate positions: the asset prefers unsensed nodes at least as close to
+// itself as to any teammate, so that teammates sharing the same knowledge
+// fan out instead of racing to one frontier node. If the chosen first hop
+// is blocked, the asset detours through an unblocked neighbor that gets it
+// closer to the goal (avoiding prev, the node it just left; hop counts and
+// metric distances can disagree, producing two-node bounce cycles without
+// this), occasionally takes a random unblocked step so mutual blocking
+// cannot deadlock, and only waits as a last resort. mask, when non-nil,
+// restricts which unsensed nodes are worth visiting. The boolean result
+// reports whether a frontier exists at all.
+func FrontierStep(m *Mission, i int, blocked map[grid.NodeID]bool, mask func(grid.NodeID) bool,
+	prev grid.NodeID, rng *rand.Rand, voronoi bool) (Action, bool) {
+
+	g := m.Grid()
+	start := m.Cur(i)
+	know := m.Knowledge(i)
+	maxSpeed := m.Scenario().Team[i].MaxSpeed
+
+	mine := func(u grid.NodeID) bool {
+		if !voronoi {
+			return true
+		}
+		d := g.Metric().Distance(g.Pos(start), g.Pos(u))
+		for j := range know.LastKnown {
+			if j == i {
+				continue
+			}
+			if g.Metric().Distance(g.Pos(know.LastKnown[j]), g.Pos(u)) < d {
+				return false
+			}
+		}
+		return true
+	}
+
+	parent := map[grid.NodeID]grid.NodeID{start: grid.None}
+	queue := []grid.NodeID{start}
+	goal, anyGoal := grid.None, grid.None
+	for len(queue) > 0 && goal == grid.None {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Neighbors(v) {
+			if _, seen := parent[e.To]; seen {
+				continue
+			}
+			if m.Obstacle(e.To) {
+				continue // impassable: neither a goal nor a corridor
+			}
+			parent[e.To] = v
+			if !know.Sensed[e.To] && (mask == nil || mask(e.To)) {
+				if anyGoal == grid.None {
+					anyGoal = e.To
+				}
+				if mine(e.To) {
+					goal = e.To
+					break
+				}
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	if goal == grid.None {
+		goal = anyGoal // no frontier in my Voronoi cell: take the nearest
+	}
+	if goal == grid.None {
+		return Wait, false // everything reachable is sensed
+	}
+	// Walk back to the first hop.
+	hop := goal
+	for parent[hop] != start {
+		hop = parent[hop]
+	}
+	if blocked[hop] {
+		bestN, bestD := -1, g.Metric().Distance(g.Pos(start), g.Pos(goal))
+		var open []int
+		for n, e := range g.Neighbors(start) {
+			if blocked[e.To] || m.Obstacle(e.To) {
+				continue
+			}
+			open = append(open, n)
+			if e.To == prev {
+				continue
+			}
+			if d := g.Metric().Distance(g.Pos(e.To), g.Pos(goal)); d < bestD {
+				bestN, bestD = n, d
+			}
+		}
+		if bestN < 0 {
+			if len(open) > 0 && rng.Float64() < 0.5 {
+				bestN = open[rng.Intn(len(open))]
+			} else {
+				return Wait, true
+			}
+		}
+		e := g.Neighbors(start)[bestN]
+		return Action{Neighbor: bestN, Speed: vessel.CruiseSpeed(e.Weight, maxSpeed)}, true
+	}
+	for n, e := range g.Neighbors(start) {
+		if e.To == hop {
+			return Action{Neighbor: n, Speed: vessel.CruiseSpeed(e.Weight, maxSpeed)}, true
+		}
+	}
+	return Wait, false
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/vessel"
+)
+
+// randomPlanner drives missions with uniform random legal actions — a
+// stress source for simulator invariants that makes no planner assumptions.
+type randomPlanner struct{ rng *rand.Rand }
+
+func (r *randomPlanner) Name() string { return "random-invariant-driver" }
+func (r *randomPlanner) Decide(m *Mission, i int) Action {
+	acts := m.LegalActionsFor(i)
+	return acts[r.rng.Intn(len(acts))]
+}
+
+// TestSimulatorInvariantsUnderRandomPlay drives randomized missions on
+// randomized grids and checks, at every epoch:
+//
+//   - per-asset clocks strictly increase and fuel never decreases;
+//   - every asset's sensed set is a subset of the team's ground truth;
+//   - each asset's own location is always current in its knowledge;
+//   - right after a communication epoch, all beliefs equal ground truth;
+//   - team sensed count never decreases and never exceeds |V|;
+//   - assets only ever occupy valid nodes.
+func TestSimulatorInvariantsUnderRandomPlay(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		g, err := grid.GenerateSynthetic(grid.SyntheticConfig{
+			Nodes: 80 + int(seed)*20, Edges: 180 + int(seed)*45, MaxOutDegree: 7, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		n := 2 + int(seed)%3
+		sources := make([]grid.NodeID, n)
+		for i := range sources {
+			sources[i] = grid.NodeID(i * (g.NumNodes() / n))
+		}
+		sc := Scenario{
+			Grid:      g,
+			Team:      vessel.NewTeam(sources, 1.1*g.AvgEdgeWeight(), 3),
+			Dest:      grid.NodeID(g.NumNodes() - 1),
+			CommEvery: 2 + int(seed)%3,
+			MaxSteps:  300,
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: scenario: %v", seed, err)
+		}
+		m, err := NewMission(sc, RunOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: NewMission: %v", seed, err)
+		}
+		p := &randomPlanner{rng: rand.New(rand.NewSource(seed))}
+
+		prevTime := make([]float64, n)
+		prevFuel := make([]float64, n)
+		prevSensed := m.TeamSensedCount()
+		for !m.Done() {
+			acts := make([]Action, n)
+			for i := range acts {
+				acts[i] = p.Decide(m, i)
+			}
+			if _, err := m.ExecuteStep(acts); err != nil {
+				t.Fatalf("seed %d: ExecuteStep: %v", seed, err)
+			}
+			for i := 0; i < n; i++ {
+				if m.TimeSpent(i) <= prevTime[i] {
+					t.Fatalf("seed %d: asset %d clock did not advance", seed, i)
+				}
+				if m.FuelSpent(i) < prevFuel[i]-1e-12 {
+					t.Fatalf("seed %d: asset %d fuel decreased", seed, i)
+				}
+				prevTime[i], prevFuel[i] = m.TimeSpent(i), m.FuelSpent(i)
+
+				cur := m.Cur(i)
+				if cur < 0 || int(cur) >= g.NumNodes() {
+					t.Fatalf("seed %d: asset %d at invalid node %d", seed, i, cur)
+				}
+				k := m.Knowledge(i)
+				if k.LastKnown[i] != cur {
+					t.Fatalf("seed %d: asset %d own location stale", seed, i)
+				}
+				// Knowledge subset of ground truth.
+				count := 0
+				for v, s := range k.Sensed {
+					if s {
+						count++
+						if !teamSensed(m, grid.NodeID(v)) {
+							t.Fatalf("seed %d: asset %d knows unsensed node %d", seed, i, v)
+						}
+					}
+				}
+				if count != k.SensedCount {
+					t.Fatalf("seed %d: asset %d SensedCount drifted: %d vs %d", seed, i, k.SensedCount, count)
+				}
+			}
+			if m.TeamSensedCount() < prevSensed || m.TeamSensedCount() > g.NumNodes() {
+				t.Fatalf("seed %d: team sensed count invalid: %d", seed, m.TeamSensedCount())
+			}
+			prevSensed = m.TeamSensedCount()
+
+			// After a communication epoch, beliefs match ground truth.
+			if sc.CommEvery > 0 && m.Step()%sc.CommEvery == 0 && !m.Done() {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if m.Knowledge(i).LastKnown[j] != m.Cur(j) {
+							t.Fatalf("seed %d: post-comm belief stale (%d about %d)", seed, i, j)
+						}
+					}
+				}
+			}
+		}
+		// Result reconciles with accumulated state.
+		res := m.Result()
+		maxT, sumF := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			maxT = math.Max(maxT, m.TimeSpent(i))
+			sumF += m.FuelSpent(i)
+		}
+		if math.Abs(res.TTotal-maxT) > 1e-9 || math.Abs(res.FTotal-sumF) > 1e-9 {
+			t.Fatalf("seed %d: result totals drifted", seed)
+		}
+	}
+}
+
+// teamSensed exposes the ground-truth sensed set for the invariant check.
+func teamSensed(m *Mission, v grid.NodeID) bool { return m.teamSensed[v] }
+
+// TestCollisionCountMatchesOccupancy replays a mission and recomputes the
+// collision count from positions: the simulator's counter must match.
+func TestCollisionCountMatchesOccupancy(t *testing.T) {
+	g := lineGrid(t, 8)
+	sc := Scenario{
+		Grid:      g,
+		Team:      vessel.NewTeam([]grid.NodeID{0, 4}, 0.5, 1),
+		Dest:      7,
+		CommEvery: 2,
+		MaxSteps:  60,
+	}
+	m, err := NewMission(sc, RunOptions{})
+	if err != nil {
+		t.Fatalf("NewMission: %v", err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	p := &randomPlanner{rng: rng}
+	recount := 0
+	for !m.Done() {
+		acts := []Action{p.Decide(m, 0), p.Decide(m, 1)}
+		if _, err := m.ExecuteStep(acts); err != nil {
+			t.Fatalf("ExecuteStep: %v", err)
+		}
+		if m.Cur(0) == m.Cur(1) {
+			recount++
+		}
+	}
+	if got := m.Result().Collisions; got != recount {
+		t.Fatalf("simulator counted %d collisions, replay counted %d", got, recount)
+	}
+}

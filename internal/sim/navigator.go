@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"github.com/routeplanning/mamorl/internal/graphalg"
+	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/vessel"
+)
+
+// Navigator steers assets toward a known target along obstacle-avoiding
+// shortest paths, yielding when the next hop is believed occupied. Every
+// planner uses it for the post-discovery rendezvous leg (Scenario
+// .Rendezvous): once the destination is broadcast, search behavior is
+// pointless and Dijkstra transit is optimal — the same reasoning as the
+// partial-knowledge planner's approach leg (Section 4.1.2-1).
+//
+// A Navigator belongs to one planner instance and one mission at a time.
+type Navigator struct {
+	target grid.NodeID
+	paths  map[int][]grid.NodeID
+	idx    map[int]int
+	// yields counts consecutive blocked epochs per asset; past a
+	// rank-staggered patience the asset retreats one hop to break mutual
+	// corridor deadlocks (two assets wanting to pass through each other
+	// across a cut vertex would otherwise wait forever).
+	yields map[int]int
+}
+
+// NewNavigator returns an empty navigator.
+func NewNavigator() *Navigator {
+	return &Navigator{
+		target: grid.None,
+		paths:  make(map[int][]grid.NodeID),
+		idx:    make(map[int]int),
+		yields: make(map[int]int),
+	}
+}
+
+// reset clears cached paths when the target changes (new mission).
+func (nv *Navigator) reset(target grid.NodeID) {
+	if nv.target == target {
+		return
+	}
+	nv.target = target
+	nv.paths = make(map[int][]grid.NodeID)
+	nv.idx = make(map[int]int)
+	nv.yields = make(map[int]int)
+}
+
+// inboundNeighbor reports whether a teammate that has not yet arrived is
+// believed adjacent to asset i — the signal to vacate a corridor node.
+func (nv *Navigator) inboundNeighbor(m *Mission, i int) bool {
+	g := m.Grid()
+	cur := m.Cur(i)
+	for j := range m.Scenario().Team {
+		if j == i {
+			continue
+		}
+		vj := m.Knowledge(i).LastKnown[j]
+		if g.Distance(vj, nv.target) <= m.Scenario().Team[j].SensingRadius {
+			continue // already arrived; not inbound
+		}
+		if g.HasEdge(cur, vj) {
+			return true
+		}
+	}
+	return false
+}
+
+// Step returns asset i's next action toward target: a shortest-path hop at
+// cruise speed, a wait when yielding or already within sensing range of the
+// target, and (Wait, false) when no route exists.
+func (nv *Navigator) Step(m *Mission, i int, target grid.NodeID) (Action, bool) {
+	nv.reset(target)
+	g := m.Grid()
+	cur := m.Cur(i)
+
+	// Arrived: within own sensing radius of the target. Parked assets must
+	// not clog the arrival zone's entrances (the first arriver often sits
+	// on the zone's only corridor — a structural deadlock we hit in
+	// testing), so an arrived asset keeps drifting deeper into the zone
+	// while free in-zone nodes closer to the target exist, and steps
+	// sideways to any free in-zone node when an inbound teammate is
+	// believed adjacent.
+	radius := m.Scenario().Team[i].SensingRadius
+	if curD := g.Distance(cur, target); curD <= radius {
+		bestN, bestD := -1, curD
+		var lateral = -1
+		for n, e := range g.Neighbors(cur) {
+			if m.Obstacle(e.To) || m.BelievedOccupied(i, e.To) {
+				continue
+			}
+			d := g.Distance(e.To, target)
+			if d > radius {
+				continue
+			}
+			if d < bestD {
+				bestN, bestD = n, d
+			} else if lateral < 0 {
+				lateral = n
+			}
+		}
+		if bestN >= 0 {
+			e := g.Neighbors(cur)[bestN]
+			return Action{Neighbor: bestN, Speed: vessel.CruiseSpeed(e.Weight, m.Scenario().Team[i].MaxSpeed)}, true
+		}
+		if lateral >= 0 && nv.inboundNeighbor(m, i) {
+			return Action{Neighbor: lateral, Speed: 1}, true
+		}
+		return Wait, true
+	}
+
+	path, ok := nv.paths[i]
+	onPath := false
+	if ok {
+		// Re-anchor the cursor at the current node (waits keep it put).
+		for j := nv.idx[i]; j < len(path); j++ {
+			if path[j] == cur {
+				nv.idx[i] = j
+				onPath = true
+				break
+			}
+		}
+	}
+	if !ok || !onPath || nv.idx[i] >= len(path)-1 {
+		sp := graphalg.DijkstraAvoiding(g, cur, func(v grid.NodeID) bool { return m.Obstacle(v) })
+		p, err := sp.PathTo(target)
+		if err != nil {
+			return Wait, false
+		}
+		nv.paths[i] = p
+		nv.idx[i] = 0
+		path = p
+	}
+	next := path[nv.idx[i]+1]
+	if m.BelievedOccupied(i, next) {
+		// The corridor is blocked — possibly permanently, by a teammate
+		// already parked at the gathering point. Reroute around occupied
+		// nodes; when no such route exists, wait with a rank-staggered
+		// patience and then retreat one hop: two assets wanting to pass
+		// through each other across a cut vertex would otherwise deadlock
+		// forever, and the stagger keeps them from retreating in lockstep.
+		sp := graphalg.DijkstraAvoiding(g, cur, func(v grid.NodeID) bool {
+			return m.Obstacle(v) || m.BelievedOccupied(i, v)
+		})
+		p, err := sp.PathTo(target)
+		if err != nil || len(p) < 2 {
+			nv.yields[i]++
+			if nv.yields[i] <= 3+i {
+				return Wait, true
+			}
+			nv.yields[i] = 0
+			delete(nv.paths, i) // force a fresh route after retreating
+			for n, e := range g.Neighbors(cur) {
+				if m.Obstacle(e.To) || m.BelievedOccupied(i, e.To) {
+					continue
+				}
+				return Action{Neighbor: n, Speed: 1}, true
+			}
+			return Wait, true // fully boxed in: nothing to do but wait
+		}
+		nv.paths[i] = p
+		nv.idx[i] = 0
+		next = p[1]
+	}
+	nv.yields[i] = 0
+	for n, e := range g.Neighbors(cur) {
+		if e.To == next {
+			return Action{Neighbor: n, Speed: vessel.CruiseSpeed(e.Weight, m.Scenario().Team[i].MaxSpeed)}, true
+		}
+	}
+	return Wait, false
+}

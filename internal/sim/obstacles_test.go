@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/vessel"
+)
+
+// obstacleScenario: a 7x5 lattice with a vertical wall of obstacles at x=3
+// leaving a single gap at y=4 (top row). One asset must round the wall.
+func obstacleScenario(t *testing.T) Scenario {
+	t.Helper()
+	g := grid.Lattice("walled", 7, 5)
+	id := func(x, y int) grid.NodeID { return grid.NodeID(y*7 + x) }
+	var wall []grid.NodeID
+	for y := 0; y < 4; y++ { // gap at y=4
+		wall = append(wall, id(3, y))
+	}
+	return Scenario{
+		Grid:      g,
+		Team:      vessel.NewTeam([]grid.NodeID{id(0, 0)}, 1.2, 2),
+		Dest:      id(6, 0),
+		CommEvery: 3,
+		Obstacles: wall,
+	}
+}
+
+func TestObstaclesFilteredFromLegalActions(t *testing.T) {
+	sc := obstacleScenario(t)
+	m, err := NewMission(sc, RunOptions{})
+	if err != nil {
+		t.Fatalf("NewMission: %v", err)
+	}
+	// Walk the asset to (2,0), adjacent to the wall.
+	id := func(x, y int) grid.NodeID { return grid.NodeID(y*7 + x) }
+	for _, to := range []grid.NodeID{id(1, 0), id(2, 0)} {
+		if _, err := m.ExecuteStep([]Action{toward(sc.Grid, m.Cur(0), to)}); err != nil {
+			t.Fatalf("ExecuteStep: %v", err)
+		}
+	}
+	if m.Cur(0) != id(2, 0) {
+		t.Fatalf("asset at %d, want %d", m.Cur(0), id(2, 0))
+	}
+	for _, a := range m.LegalActionsFor(0) {
+		if a.IsWait() {
+			continue
+		}
+		to, _ := m.Apply(m.Cur(0), a)
+		if m.Obstacle(to) {
+			t.Fatalf("legal action %v enters obstacle %d", a, to)
+		}
+	}
+	// Forcing a move into the wall is rejected.
+	for n, e := range sc.Grid.Neighbors(m.Cur(0)) {
+		if m.Obstacle(e.To) {
+			if _, err := m.ExecuteStep([]Action{{Neighbor: n, Speed: 1}}); err == nil {
+				t.Fatal("move into obstacle accepted")
+			}
+			return
+		}
+	}
+	t.Fatal("fixture broken: no obstacle neighbor at (2,0)")
+}
+
+func TestScenarioValidateObstacles(t *testing.T) {
+	sc := obstacleScenario(t)
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("valid walled scenario rejected: %v", err)
+	}
+	bad := sc
+	bad.Obstacles = append(append([]grid.NodeID(nil), sc.Obstacles...), sc.Dest)
+	if err := bad.Validate(); err == nil {
+		t.Error("obstacle on destination accepted")
+	}
+	bad = sc
+	bad.Obstacles = append(append([]grid.NodeID(nil), sc.Obstacles...), sc.Team[0].Source)
+	if err := bad.Validate(); err == nil {
+		t.Error("obstacle on source accepted")
+	}
+	bad = sc
+	bad.Obstacles = []grid.NodeID{999}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-grid obstacle accepted")
+	}
+	// Seal the gap: destination becomes unreachable.
+	sealed := sc
+	id := func(x, y int) grid.NodeID { return grid.NodeID(y*7 + x) }
+	sealed.Obstacles = append(append([]grid.NodeID(nil), sc.Obstacles...), id(3, 4))
+	if err := sealed.Validate(); err == nil {
+		t.Error("sealed wall accepted despite unreachable destination")
+	}
+}
+
+func TestFrontierRoutesAroundObstacles(t *testing.T) {
+	// With a tiny sensing radius, the only way to the destination side of
+	// the wall is through the gap; the frontier search must find it and
+	// never propose an obstacle hop.
+	sc := obstacleScenario(t)
+	m, err := NewMission(sc, RunOptions{})
+	if err != nil {
+		t.Fatalf("NewMission: %v", err)
+	}
+	steps := 0
+	for !m.Done() && steps < 200 {
+		a, ok := FrontierStep(m, 0, map[grid.NodeID]bool{}, nil, grid.None, newTestRNG(), true)
+		if !ok {
+			t.Fatal("frontier exhausted before discovery")
+		}
+		if !a.IsWait() {
+			to, _ := m.Apply(m.Cur(0), a)
+			if m.Obstacle(to) {
+				t.Fatalf("frontier proposed obstacle hop to %d", to)
+			}
+		}
+		if _, err := m.ExecuteStep([]Action{a}); err != nil {
+			t.Fatalf("ExecuteStep: %v", err)
+		}
+		steps++
+	}
+	if !m.Done() {
+		t.Fatalf("frontier never rounded the wall in %d steps", steps)
+	}
+	if !m.Result().Found {
+		t.Fatalf("mission ended unfound: %+v", m.Result())
+	}
+}
+
+// newTestRNG returns a fixed-seed RNG for obstacle tests.
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(3)) }

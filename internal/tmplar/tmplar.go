@@ -1,0 +1,424 @@
+// Package tmplar implements the deployment surface of Section 4.7: MaMoRL
+// served as a back-end planning service speaking JSON, the integration
+// contract of the Navy's TMPLAR tool (Tool for Multi-objective Planning and
+// Asset Routing). The service offers the paper's two views: a global view
+// planning all assets of a mission simultaneously, and a local view
+// planning a single asset.
+//
+// The server is stdlib net/http only. Grids are registered once (uploaded
+// as JSON or installed programmatically) and referenced by name in planning
+// requests; the Approx-MaMoRL model is trained at startup exactly as in
+// Section 4.2.
+package tmplar
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/routeplanning/mamorl/internal/approx"
+	"github.com/routeplanning/mamorl/internal/baselines"
+	"github.com/routeplanning/mamorl/internal/geo"
+	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/partial"
+	"github.com/routeplanning/mamorl/internal/rewardfn"
+	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/vessel"
+	"github.com/routeplanning/mamorl/internal/weather"
+)
+
+// Server is the TMPLAR-style planning service.
+type Server struct {
+	mu    sync.RWMutex
+	grids map[string]*grid.Grid
+	model *approx.LinearModel
+	pipe  *approx.Pipeline
+}
+
+// NewServer trains the Approx-MaMoRL model (Section 4.2's pipeline) and
+// returns a ready server with no grids registered.
+func NewServer(seed int64) (*Server, error) {
+	pipe, err := approx.NewPipeline(approx.TrainConfig{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("tmplar: training pipeline: %w", err)
+	}
+	model, _, err := approx.FitLinear(pipe.Data)
+	if err != nil {
+		return nil, fmt.Errorf("tmplar: model fit: %w", err)
+	}
+	return &Server{
+		grids: make(map[string]*grid.Grid),
+		model: model,
+		pipe:  pipe,
+	}, nil
+}
+
+// InstallGrid registers a grid under its name, replacing any previous one.
+func (s *Server) InstallGrid(g *grid.Grid) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grids[g.Name()] = g
+}
+
+// lookupGrid fetches a registered grid.
+func (s *Server) lookupGrid(name string) (*grid.Grid, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.grids[name]
+	return g, ok
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /api/grids", s.handleListGrids)
+	mux.HandleFunc("POST /api/grids", s.handleUploadGrid)
+	mux.HandleFunc("POST /api/plan", s.handlePlanGlobal)
+	mux.HandleFunc("POST /api/plan/asset", s.handlePlanLocal)
+	return mux
+}
+
+// --- Wire types --------------------------------------------------------------
+
+// AssetSpec describes one asset in a planning request.
+type AssetSpec struct {
+	Source        int32   `json:"source"`
+	SensingRadius float64 `json:"sensing_radius"`
+	MaxSpeed      int     `json:"max_speed"`
+}
+
+// RegionSpec is the partial-knowledge bounding box.
+type RegionSpec struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+// PlanRequest is the global-view request body.
+type PlanRequest struct {
+	Grid        string      `json:"grid"`
+	Assets      []AssetSpec `json:"assets"`
+	Destination int32       `json:"destination"`
+	CommEvery   int         `json:"comm_every"`
+	// Algorithm: "approx" (default), "approx-pk" (requires region),
+	// "baseline1", "baseline2", "random".
+	Algorithm string      `json:"algorithm"`
+	Region    *RegionSpec `json:"region,omitempty"`
+	// Obstacles lists node IDs no asset may enter (reefs, exclusion zones).
+	Obstacles []int32 `json:"obstacles,omitempty"`
+	// Weather optionally subjects the mission to currents and storms.
+	Weather *WeatherSpec `json:"weather,omitempty"`
+	// Rendezvous keeps the mission running until the whole team gathers at
+	// the discovered destination.
+	Rendezvous bool  `json:"rendezvous,omitempty"`
+	Seed       int64 `json:"seed"`
+	MaxSteps   int   `json:"max_steps"`
+}
+
+// WeatherSpec is the wire form of an environmental field: an optional gyre
+// plus any number of storm cells.
+type WeatherSpec struct {
+	Gyre   *GyreSpec   `json:"gyre,omitempty"`
+	Storms []StormSpec `json:"storms,omitempty"`
+}
+
+// GyreSpec mirrors weather.Gyre.
+type GyreSpec struct {
+	CenterX   float64 `json:"center_x"`
+	CenterY   float64 `json:"center_y"`
+	Radius    float64 `json:"radius"`
+	Strength  float64 `json:"strength"`
+	Clockwise bool    `json:"clockwise,omitempty"`
+}
+
+// StormSpec mirrors weather.StormCell.
+type StormSpec struct {
+	CenterX  float64 `json:"center_x"`
+	CenterY  float64 `json:"center_y"`
+	DriftX   float64 `json:"drift_x,omitempty"`
+	DriftY   float64 `json:"drift_y,omitempty"`
+	Radius   float64 `json:"radius"`
+	Slowdown float64 `json:"slowdown"`
+}
+
+// field converts the wire form into a weather.Field (nil when empty).
+func (w *WeatherSpec) field() weather.Field {
+	if w == nil {
+		return nil
+	}
+	var fields weather.Compose
+	if w.Gyre != nil {
+		fields = append(fields, weather.Gyre{
+			Center:    geo.Point{X: w.Gyre.CenterX, Y: w.Gyre.CenterY},
+			Radius:    w.Gyre.Radius,
+			Strength:  w.Gyre.Strength,
+			Clockwise: w.Gyre.Clockwise,
+		})
+	}
+	if len(w.Storms) > 0 {
+		storms := weather.Storms{}
+		for _, s := range w.Storms {
+			storms.Cells = append(storms.Cells, weather.StormCell{
+				Center:   geo.Point{X: s.CenterX, Y: s.CenterY},
+				Drift:    geo.Point{X: s.DriftX, Y: s.DriftY},
+				Radius:   s.Radius,
+				Slowdown: s.Slowdown,
+			})
+		}
+		fields = append(fields, storms)
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+	return fields
+}
+
+// RouteLeg is one movement of one asset.
+type RouteLeg struct {
+	From  int32   `json:"from"`
+	To    int32   `json:"to"`
+	Speed int     `json:"speed"`
+	Time  float64 `json:"time"`
+	Fuel  float64 `json:"fuel"`
+	Wait  bool    `json:"wait,omitempty"`
+}
+
+// AssetRoute is one asset's full plan.
+type AssetRoute struct {
+	Asset int        `json:"asset"`
+	Legs  []RouteLeg `json:"legs"`
+	Time  float64    `json:"time"`
+	Fuel  float64    `json:"fuel"`
+}
+
+// PlanResponse is the planning result (both views).
+type PlanResponse struct {
+	Found      bool         `json:"found"`
+	FoundBy    int          `json:"found_by"`
+	Steps      int          `json:"steps"`
+	TTotal     float64      `json:"t_total"`
+	FTotal     float64      `json:"f_total"`
+	Collisions int          `json:"collisions"`
+	Routes     []AssetRoute `json:"routes"`
+}
+
+// LocalPlanRequest is the local-view request: plan one asset from its
+// current position (the global mission context is unknown to the view).
+type LocalPlanRequest struct {
+	Grid        string    `json:"grid"`
+	Asset       AssetSpec `json:"asset"`
+	Destination int32     `json:"destination"`
+	Seed        int64     `json:"seed"`
+	MaxSteps    int       `json:"max_steps"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- Handlers ----------------------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// gridInfo summarizes a registered grid.
+type gridInfo struct {
+	Name         string `json:"name"`
+	Nodes        int    `json:"nodes"`
+	Edges        int    `json:"edges"`
+	MaxOutDegree int    `json:"max_out_degree"`
+	Metric       string `json:"metric"`
+}
+
+func (s *Server) handleListGrids(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	infos := make([]gridInfo, 0, len(s.grids))
+	for _, g := range s.grids {
+		infos = append(infos, gridInfo{
+			Name:         g.Name(),
+			Nodes:        g.NumNodes(),
+			Edges:        g.NumEdges(),
+			MaxOutDegree: g.MaxOutDegree(),
+			Metric:       g.Metric().String(),
+		})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleUploadGrid(w http.ResponseWriter, r *http.Request) {
+	g, err := grid.Decode(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	if g.Name() == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"grid must carry a name"})
+		return
+	}
+	s.InstallGrid(g)
+	writeJSON(w, http.StatusCreated, gridInfo{
+		Name: g.Name(), Nodes: g.NumNodes(), Edges: g.NumEdges(),
+		MaxOutDegree: g.MaxOutDegree(), Metric: g.Metric().String(),
+	})
+}
+
+func (s *Server) handlePlanGlobal(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
+		return
+	}
+	resp, status, err := s.plan(req)
+	if err != nil {
+		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePlanLocal(w http.ResponseWriter, r *http.Request) {
+	var req LocalPlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
+		return
+	}
+	resp, status, err := s.plan(PlanRequest{
+		Grid:        req.Grid,
+		Assets:      []AssetSpec{req.Asset},
+		Destination: req.Destination,
+		CommEvery:   0,
+		Algorithm:   "approx",
+		Seed:        req.Seed,
+		MaxSteps:    req.MaxSteps,
+	})
+	if err != nil {
+		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// plan executes a mission for a request.
+func (s *Server) plan(req PlanRequest) (*PlanResponse, int, error) {
+	g, ok := s.lookupGrid(req.Grid)
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown grid %q", req.Grid)
+	}
+	if len(req.Assets) == 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("no assets")
+	}
+	team := make(vessel.Team, len(req.Assets))
+	for i, a := range req.Assets {
+		team[i] = vessel.Asset{
+			ID:            i,
+			SensingRadius: a.SensingRadius,
+			MaxSpeed:      a.MaxSpeed,
+			Source:        grid.NodeID(a.Source),
+		}
+	}
+	commEvery := req.CommEvery
+	if commEvery == 0 {
+		commEvery = 3
+	}
+	sc := sim.Scenario{
+		Grid:      g,
+		Team:      team,
+		Dest:      grid.NodeID(req.Destination),
+		CommEvery: commEvery,
+		MaxSteps:  req.MaxSteps,
+	}
+	for _, v := range req.Obstacles {
+		sc.Obstacles = append(sc.Obstacles, grid.NodeID(v))
+	}
+	sc.Weather = req.Weather.field()
+	sc.Rendezvous = req.Rendezvous
+	if err := sc.Validate(); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+
+	var planner sim.Planner
+	collision := sim.RecordCollisions
+	switch req.Algorithm {
+	case "", "approx":
+		planner = approx.NewPlanner(s.model, s.pipe.Extractor, req.Seed)
+	case "approx-pk":
+		if req.Region == nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("approx-pk requires a region")
+		}
+		rect := geo.Rect(*req.Region)
+		inner := approx.NewPlanner(s.model, s.pipe.Extractor, req.Seed)
+		pk, err := partial.NewPlanner(sc, rect, inner)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		planner = pk
+	case "baseline1":
+		planner = baselines.NewRoundRobin(rewardfn.Weights{}, req.Seed)
+	case "baseline2":
+		planner = baselines.NewIndependent(rewardfn.Weights{}, req.Seed)
+		collision = sim.AbortOnCollision
+	case "random":
+		planner = baselines.NewRandomWalk(req.Seed)
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm)
+	}
+
+	routes := make([]AssetRoute, len(team))
+	for i := range routes {
+		routes[i].Asset = i
+	}
+	record := func(m *sim.Mission, acts []sim.Action) {
+		for i, a := range acts {
+			cur := m.Cur(i)
+			var leg RouteLeg
+			if a.IsWait() {
+				leg = RouteLeg{From: int32(cur), To: int32(cur), Wait: true, Time: rewardfn.WaitTime}
+			} else {
+				// Post-step, Cur is the destination; reconstruct the move
+				// from the recorded previous leg end (or the source).
+				from := team[i].Source
+				if n := len(routes[i].Legs); n > 0 {
+					from = grid.NodeID(routes[i].Legs[n-1].To)
+				}
+				w, err := m.Grid().EdgeWeight(from, cur)
+				if err != nil {
+					w = m.Grid().Distance(from, cur)
+				}
+				leg = RouteLeg{
+					From:  int32(from),
+					To:    int32(cur),
+					Speed: a.Speed,
+					Time:  vessel.MoveTime(w, float64(a.Speed)),
+					Fuel:  vessel.MoveFuel(w, float64(a.Speed)),
+				}
+			}
+			routes[i].Legs = append(routes[i].Legs, leg)
+			routes[i].Time += leg.Time
+			routes[i].Fuel += leg.Fuel
+		}
+	}
+	res, err := sim.Run(sc, planner, sim.RunOptions{Collision: collision, OnStep: record})
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	return &PlanResponse{
+		Found:      res.Found,
+		FoundBy:    res.FoundBy,
+		Steps:      res.Steps,
+		TTotal:     res.TTotal,
+		FTotal:     res.FTotal,
+		Collisions: res.Collisions,
+		Routes:     routes,
+	}, http.StatusOK, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

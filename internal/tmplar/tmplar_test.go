@@ -1,0 +1,469 @@
+package tmplar
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/grid"
+)
+
+// sharedServer is built once per test binary (model training dominates).
+var sharedServer *Server
+
+func server(t *testing.T) *Server {
+	t.Helper()
+	if sharedServer == nil {
+		s, err := NewServer(17)
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+		g, err := grid.GenerateSynthetic(grid.SyntheticConfig{
+			Name: "ops-area", Nodes: 150, Edges: 330, MaxOutDegree: 8, Seed: 4,
+		})
+		if err != nil {
+			t.Fatalf("grid: %v", err)
+		}
+		s.InstallGrid(g)
+		sharedServer = s
+	}
+	return sharedServer
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if s, ok := body.(string); ok {
+			buf.WriteString(s)
+		} else if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatalf("encode body: %v", err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealth(t *testing.T) {
+	rec := do(t, server(t).Handler(), "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestListGrids(t *testing.T) {
+	rec := do(t, server(t).Handler(), "GET", "/api/grids", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list: %d", rec.Code)
+	}
+	var infos []gridInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &infos); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	found := false
+	for _, gi := range infos {
+		if gi.Name == "ops-area" && gi.Nodes == 150 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ops-area missing from %v", infos)
+	}
+}
+
+func TestUploadGrid(t *testing.T) {
+	s := server(t)
+	g, err := grid.GenerateSynthetic(grid.SyntheticConfig{
+		Name: "uploaded", Nodes: 30, Edges: 60, MaxOutDegree: 6, Seed: 2,
+	})
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := grid.Encode(&buf, g); err != nil {
+		t.Fatalf("encode grid: %v", err)
+	}
+	rec := do(t, s.Handler(), "POST", "/api/grids", buf.String())
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("upload: %d %s", rec.Code, rec.Body.String())
+	}
+	if _, ok := s.lookupGrid("uploaded"); !ok {
+		t.Error("uploaded grid not registered")
+	}
+}
+
+func TestUploadGridRejectsGarbage(t *testing.T) {
+	rec := do(t, server(t).Handler(), "POST", "/api/grids", "{not json")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage upload: %d", rec.Code)
+	}
+}
+
+func TestPlanGlobal(t *testing.T) {
+	s := server(t)
+	req := PlanRequest{
+		Grid: "ops-area",
+		Assets: []AssetSpec{
+			{Source: 0, SensingRadius: 10, MaxSpeed: 3},
+			{Source: 75, SensingRadius: 10, MaxSpeed: 3},
+		},
+		Destination: 140,
+		Seed:        5,
+	}
+	rec := do(t, s.Handler(), "POST", "/api/plan", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("plan: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !resp.Found {
+		t.Fatalf("mission failed: %+v", resp)
+	}
+	if len(resp.Routes) != 2 {
+		t.Fatalf("routes = %d", len(resp.Routes))
+	}
+	// Route legs must chain: each leg starts where the previous ended, and
+	// per-asset totals must reconcile with the mission objectives.
+	maxTime := 0.0
+	totalFuel := 0.0
+	for _, route := range resp.Routes {
+		prevTo := int32(req.Assets[route.Asset].Source)
+		for _, leg := range route.Legs {
+			if leg.From != prevTo {
+				t.Fatalf("asset %d: leg starts at %d, previous ended at %d", route.Asset, leg.From, prevTo)
+			}
+			prevTo = leg.To
+		}
+		if route.Time > maxTime {
+			maxTime = route.Time
+		}
+		totalFuel += route.Fuel
+	}
+	if math.Abs(maxTime-resp.TTotal) > 1e-6 {
+		t.Errorf("T_total %v != max route time %v", resp.TTotal, maxTime)
+	}
+	if math.Abs(totalFuel-resp.FTotal) > 1e-6 {
+		t.Errorf("F_total %v != summed route fuel %v", resp.FTotal, totalFuel)
+	}
+}
+
+func TestPlanPartialKnowledge(t *testing.T) {
+	s := server(t)
+	g, _ := s.lookupGrid("ops-area")
+	dp := g.Pos(140)
+	r := 3 * g.AvgEdgeWeight()
+	req := PlanRequest{
+		Grid: "ops-area",
+		Assets: []AssetSpec{
+			{Source: 0, SensingRadius: 10, MaxSpeed: 3},
+			{Source: 75, SensingRadius: 10, MaxSpeed: 3},
+		},
+		Destination: 140,
+		Algorithm:   "approx-pk",
+		Region:      &RegionSpec{MinX: dp.X - r, MinY: dp.Y - r, MaxX: dp.X + r, MaxY: dp.Y + r},
+		Seed:        5,
+	}
+	rec := do(t, s.Handler(), "POST", "/api/plan", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("plan: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !resp.Found {
+		t.Fatalf("PK mission failed: %+v", resp)
+	}
+}
+
+func TestPlanBaselines(t *testing.T) {
+	s := server(t)
+	for _, algo := range []string{"baseline1", "baseline2", "random"} {
+		req := PlanRequest{
+			Grid: "ops-area",
+			Assets: []AssetSpec{
+				{Source: 0, SensingRadius: 10, MaxSpeed: 3},
+				{Source: 75, SensingRadius: 10, MaxSpeed: 3},
+			},
+			Destination: 140,
+			Algorithm:   algo,
+			Seed:        5,
+			MaxSteps:    20000,
+		}
+		rec := do(t, s.Handler(), "POST", "/api/plan", req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: %d %s", algo, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestPlanLocalView(t *testing.T) {
+	s := server(t)
+	req := LocalPlanRequest{
+		Grid:        "ops-area",
+		Asset:       AssetSpec{Source: 3, SensingRadius: 10, MaxSpeed: 3},
+		Destination: 120,
+		Seed:        9,
+	}
+	rec := do(t, s.Handler(), "POST", "/api/plan/asset", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("local plan: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !resp.Found || len(resp.Routes) != 1 {
+		t.Fatalf("local view: %+v", resp)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	s := server(t)
+	h := s.Handler()
+	cases := []struct {
+		name string
+		body interface{}
+		code int
+	}{
+		{"bad json", "{oops", http.StatusBadRequest},
+		{"unknown grid", PlanRequest{Grid: "nowhere", Assets: []AssetSpec{{Source: 0, SensingRadius: 1, MaxSpeed: 1}}}, http.StatusNotFound},
+		{"no assets", PlanRequest{Grid: "ops-area"}, http.StatusBadRequest},
+		{"bad dest", PlanRequest{Grid: "ops-area", Assets: []AssetSpec{{Source: 0, SensingRadius: 1, MaxSpeed: 1}}, Destination: 9999}, http.StatusBadRequest},
+		{"unknown algorithm", PlanRequest{Grid: "ops-area", Assets: []AssetSpec{{Source: 0, SensingRadius: 1, MaxSpeed: 1}}, Destination: 5, Algorithm: "quantum"}, http.StatusBadRequest},
+		{"pk without region", PlanRequest{Grid: "ops-area", Assets: []AssetSpec{{Source: 0, SensingRadius: 1, MaxSpeed: 1}}, Destination: 5, Algorithm: "approx-pk"}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := do(t, h, "POST", "/api/plan", c.body)
+		if rec.Code != c.code {
+			t.Errorf("%s: code %d, want %d (%s)", c.name, rec.Code, c.code, rec.Body.String())
+		}
+	}
+}
+
+func TestEndToEndOverHTTP(t *testing.T) {
+	// Full network round trip through an httptest server, as a TMPLAR
+	// front-end would issue it.
+	ts := httptest.NewServer(server(t).Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(PlanRequest{
+		Grid: "ops-area",
+		Assets: []AssetSpec{
+			{Source: 10, SensingRadius: 10, MaxSpeed: 3},
+			{Source: 90, SensingRadius: 10, MaxSpeed: 3},
+		},
+		Destination: 140,
+		Seed:        2,
+	})
+	resp, err := http.Post(fmt.Sprintf("%s/api/plan", ts.URL), "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var pr PlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !pr.Found {
+		t.Fatalf("mission failed over HTTP: %+v", pr)
+	}
+}
+
+func TestConcurrentPlanning(t *testing.T) {
+	// The service must serve concurrent planning requests safely: each
+	// request builds its own planner and mission, sharing only the
+	// immutable grid and model.
+	s := server(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(seed int64) {
+			body, _ := json.Marshal(PlanRequest{
+				Grid: "ops-area",
+				Assets: []AssetSpec{
+					{Source: 0, SensingRadius: 10, MaxSpeed: 3},
+					{Source: 75, SensingRadius: 10, MaxSpeed: 3},
+				},
+				Destination: 140,
+				Seed:        seed,
+			})
+			resp, err := http.Post(ts.URL+"/api/plan", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var pr PlanResponse
+			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+				errs <- err
+				return
+			}
+			if !pr.Found {
+				errs <- fmt.Errorf("seed %d: mission failed", seed)
+				return
+			}
+			errs <- nil
+		}(int64(w))
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent plan: %v", err)
+		}
+	}
+}
+
+func TestConcurrentGridUploadsAndPlans(t *testing.T) {
+	// Uploading grids while planning must not race (the grids map is
+	// mutex-guarded; run with -race in CI).
+	s := server(t)
+	h := s.Handler()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for k := 0; k < 5; k++ {
+			g, err := grid.GenerateSynthetic(grid.SyntheticConfig{
+				Name: fmt.Sprintf("conc-%d", k), Nodes: 30, Edges: 60, MaxOutDegree: 6, Seed: int64(k),
+			})
+			if err != nil {
+				t.Errorf("grid: %v", err)
+				return
+			}
+			var buf bytes.Buffer
+			if err := grid.Encode(&buf, g); err != nil {
+				t.Errorf("encode: %v", err)
+				return
+			}
+			rec := do(t, h, "POST", "/api/grids", buf.String())
+			if rec.Code != http.StatusCreated {
+				t.Errorf("upload %d: %d", k, rec.Code)
+				return
+			}
+		}
+	}()
+	for k := 0; k < 5; k++ {
+		rec := do(t, h, "GET", "/api/grids", nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("list during uploads: %d", rec.Code)
+		}
+	}
+	<-done
+}
+
+func TestPlanWithObstacles(t *testing.T) {
+	s := server(t)
+	g, _ := s.lookupGrid("ops-area")
+	// Block a handful of nodes that are neither sources nor destination.
+	var obstacles []int32
+	for v := int32(20); v < 25; v++ {
+		obstacles = append(obstacles, v)
+	}
+	req := PlanRequest{
+		Grid: "ops-area",
+		Assets: []AssetSpec{
+			{Source: 0, SensingRadius: 10, MaxSpeed: 3},
+			{Source: 75, SensingRadius: 10, MaxSpeed: 3},
+		},
+		Destination: 140,
+		Obstacles:   obstacles,
+		Seed:        5,
+	}
+	rec := do(t, s.Handler(), "POST", "/api/plan", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("plan with obstacles: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !resp.Found {
+		t.Fatalf("mission failed: %+v", resp)
+	}
+	blocked := map[int32]bool{}
+	for _, v := range obstacles {
+		blocked[v] = true
+	}
+	for _, route := range resp.Routes {
+		for _, leg := range route.Legs {
+			if blocked[leg.To] {
+				t.Fatalf("route enters obstacle %d", leg.To)
+			}
+		}
+	}
+	// An obstacle on the destination is a bad request.
+	bad := req
+	bad.Obstacles = []int32{140}
+	rec = do(t, s.Handler(), "POST", "/api/plan", bad)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("obstacle-on-destination: %d", rec.Code)
+	}
+	_ = g
+}
+
+func TestPlanWithWeatherAndRendezvous(t *testing.T) {
+	s := server(t)
+	g, _ := s.lookupGrid("ops-area")
+	b := g.Bounds()
+	base := PlanRequest{
+		Grid: "ops-area",
+		Assets: []AssetSpec{
+			{Source: 0, SensingRadius: 10, MaxSpeed: 3},
+			{Source: 75, SensingRadius: 10, MaxSpeed: 3},
+		},
+		Destination: 140,
+		Seed:        5,
+	}
+	plan := func(req PlanRequest) PlanResponse {
+		t.Helper()
+		rec := do(t, s.Handler(), "POST", "/api/plan", req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("plan: %d %s", rec.Code, rec.Body.String())
+		}
+		var resp PlanResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return resp
+	}
+	calm := plan(base)
+
+	stormy := base
+	stormy.Weather = &WeatherSpec{
+		Storms: []StormSpec{{
+			CenterX: b.Center().X, CenterY: b.Center().Y,
+			Radius: b.Width(), Slowdown: 0.5,
+		}},
+	}
+	heavy := plan(stormy)
+	if !calm.Found || !heavy.Found {
+		t.Fatalf("missions failed: calm=%v heavy=%v", calm.Found, heavy.Found)
+	}
+	if heavy.TTotal <= calm.TTotal {
+		t.Errorf("basin-wide storm should cost time: %v vs %v", heavy.TTotal, calm.TTotal)
+	}
+
+	rv := base
+	rv.Rendezvous = true
+	gathered := plan(rv)
+	if !gathered.Found {
+		t.Fatalf("rendezvous failed: %+v", gathered)
+	}
+	if gathered.Steps < calm.Steps {
+		t.Errorf("rendezvous steps %d < discovery-only %d", gathered.Steps, calm.Steps)
+	}
+}

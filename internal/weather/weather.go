@@ -1,0 +1,160 @@
+// Package weather models the environmental dynamics of the paper's
+// deployment target: TMPLAR plans asset routes "in a dynamic
+// weather-impacted environment" (Sidoti et al., the paper's reference
+// [22]), and Section 4.7 describes MaMoRL deployed inside it under
+// mission/environment/asset/threat contexts. This package supplies that
+// environment substrate: a Field scales an asset's effective speed over an
+// edge as a function of position and mission time.
+//
+// Fields affect execution, not planning: the planners command nominal
+// speeds and the environment delivers real ones, exactly the robustness
+// setting the deployment cares about. An engine commanded at speed s burns
+// at FuelRate(s) for however long the crossing really takes, so adverse
+// weather costs both time and fuel.
+package weather
+
+import (
+	"math"
+
+	"github.com/routeplanning/mamorl/internal/geo"
+	"github.com/routeplanning/mamorl/internal/grid"
+)
+
+// Field scales effective speed. Implementations must be safe for
+// concurrent use (missions may run in parallel).
+type Field interface {
+	// SpeedFactor returns the multiplier on effective speed for traversing
+	// from -> to, departing at mission time t. 1 means calm; values are
+	// clamped by the simulator to [MinFactor, MaxFactor].
+	SpeedFactor(g *grid.Grid, from, to grid.NodeID, t float64) float64
+}
+
+// Clamp bounds applied by consumers of a Field: no field may stall an
+// asset entirely (the TDMDP would lose liveness) nor teleport it.
+const (
+	MinFactor = 0.2
+	MaxFactor = 3.0
+)
+
+// ClampFactor bounds a raw factor into the legal range.
+func ClampFactor(f float64) float64 {
+	switch {
+	case math.IsNaN(f) || f < MinFactor:
+		return MinFactor
+	case f > MaxFactor:
+		return MaxFactor
+	default:
+		return f
+	}
+}
+
+// Calm is the neutral field: factor 1 everywhere.
+type Calm struct{}
+
+// SpeedFactor implements Field.
+func (Calm) SpeedFactor(*grid.Grid, grid.NodeID, grid.NodeID, float64) float64 { return 1 }
+
+// Gyre is a steady rotating current around a center (an idealized ocean
+// gyre): sailing with the current speeds an asset up, sailing against it
+// slows the asset down. The current's tangential strength peaks at Radius
+// from the center and decays away from that ring.
+type Gyre struct {
+	// Center of rotation.
+	Center geo.Point
+	// Radius of peak current.
+	Radius float64
+	// Strength is the peak fractional speed change: a move perfectly
+	// aligned with the current gets factor 1+Strength, perfectly opposed
+	// 1-Strength. Must lie in [0, 0.8] to respect the clamp.
+	Strength float64
+	// Clockwise flips the rotation sense.
+	Clockwise bool
+}
+
+// SpeedFactor implements Field.
+func (gy Gyre) SpeedFactor(g *grid.Grid, from, to grid.NodeID, _ float64) float64 {
+	p, q := g.Pos(from), g.Pos(to)
+	mid := geo.Lerp(p, q, 0.5)
+	// Radial vector from the gyre center to the edge midpoint.
+	rx, ry := mid.X-gy.Center.X, mid.Y-gy.Center.Y
+	r := math.Hypot(rx, ry)
+	if r == 0 || gy.Radius <= 0 {
+		return 1
+	}
+	// Tangential current direction (counterclockwise by default).
+	tx, ty := -ry/r, rx/r
+	if gy.Clockwise {
+		tx, ty = -tx, -ty
+	}
+	// Strength envelope: peaks at the ring, decays with relative distance.
+	rel := (r - gy.Radius) / gy.Radius
+	envelope := math.Exp(-rel * rel)
+	// Alignment of the move with the current.
+	dx, dy := q.X-p.X, q.Y-p.Y
+	d := math.Hypot(dx, dy)
+	if d == 0 {
+		return 1
+	}
+	align := (dx*tx + dy*ty) / d
+	return ClampFactor(1 + gy.Strength*envelope*align)
+}
+
+// StormCell is a moving disc of heavy weather that slows everything inside
+// it.
+type StormCell struct {
+	// Center at mission time 0.
+	Center geo.Point
+	// Drift is the center's velocity (coordinate units per time unit).
+	Drift geo.Point
+	// Radius of the cell.
+	Radius float64
+	// Slowdown is the speed factor inside the cell (e.g. 0.4); the factor
+	// blends back to 1 toward the rim.
+	Slowdown float64
+}
+
+// centerAt returns the cell center at time t.
+func (c StormCell) centerAt(t float64) geo.Point {
+	return geo.Point{X: c.Center.X + c.Drift.X*t, Y: c.Center.Y + c.Drift.Y*t}
+}
+
+// Storms is a set of drifting storm cells. The factor of overlapping cells
+// is the worst (smallest) one.
+type Storms struct {
+	Cells []StormCell
+}
+
+// SpeedFactor implements Field.
+func (s Storms) SpeedFactor(g *grid.Grid, from, to grid.NodeID, t float64) float64 {
+	mid := geo.Lerp(g.Pos(from), g.Pos(to), 0.5)
+	factor := 1.0
+	for _, c := range s.Cells {
+		if c.Radius <= 0 {
+			continue
+		}
+		center := c.centerAt(t)
+		d := math.Hypot(mid.X-center.X, mid.Y-center.Y)
+		if d >= c.Radius {
+			continue
+		}
+		// Full slowdown at the eye, blending to calm at the rim.
+		blend := 1 - d/c.Radius
+		f := 1 - (1-c.Slowdown)*blend
+		if f < factor {
+			factor = f
+		}
+	}
+	return ClampFactor(factor)
+}
+
+// Compose multiplies the factors of several fields (clamped at the end).
+type Compose []Field
+
+// SpeedFactor implements Field.
+func (cs Compose) SpeedFactor(g *grid.Grid, from, to grid.NodeID, t float64) float64 {
+	f := 1.0
+	for _, field := range cs {
+		f *= field.SpeedFactor(g, from, to, t)
+	}
+	return ClampFactor(f)
+}

@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build vet test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/... .
+
+# check is what CI runs (.github/workflows/ci.yml).
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -10,6 +10,7 @@
 package mamorl_test
 
 import (
+	"context"
 	"flag"
 	"sync"
 	"testing"
@@ -127,7 +128,7 @@ func BenchmarkTable6Comparison(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := h.RunTable6(p)
+		rows, err := h.RunTable6(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func BenchmarkFigure3FunctionApprox(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := h.RunFigure3(p, opts, int64(i))
+		r, err := h.RunFigure3(context.Background(), p, opts, int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func BenchmarkFigure4Pareto(b *testing.B) {
 	p := benchParams()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := h.RunFigure4(p)
+		r, err := h.RunFigure4(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -190,7 +191,7 @@ func BenchmarkFigure5Sweeps(b *testing.B) {
 	p := benchParams()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sweeps, err := h.RunSweeps(experiments.AlgoApprox, p, !*paperScale)
+		sweeps, err := h.RunSweeps(context.Background(), experiments.AlgoApprox, p, !*paperScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +207,7 @@ func BenchmarkFigure6PartialKnowledge(b *testing.B) {
 	p := benchParams()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sweeps, err := h.RunSweeps(experiments.AlgoApproxPK, p, !*paperScale)
+		sweeps, err := h.RunSweeps(context.Background(), experiments.AlgoApproxPK, p, !*paperScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -222,7 +223,7 @@ func BenchmarkFigure7RunningTime(b *testing.B) {
 	p := benchParams()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sweeps, err := h.RunSweeps(experiments.AlgoApprox, p, !*paperScale)
+		sweeps, err := h.RunSweeps(context.Background(), experiments.AlgoApprox, p, !*paperScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -257,7 +258,7 @@ func BenchmarkFigure8Transfer(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFigure8(carib, partner, experiments.Figure8Options{Runs: runs, Seed: int64(i)})
+		r, err := experiments.RunFigure8(context.Background(), carib, partner, experiments.Figure8Options{Runs: runs, Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -381,7 +382,7 @@ func BenchmarkAblation(b *testing.B) {
 	p.Assets = 6
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, err := h.RunAblation(p)
+		results, err := h.RunAblation(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,13 +11,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/routeplanning/mamorl/internal/approx"
@@ -44,6 +48,17 @@ func main() {
 	}
 	run := func(k string) bool { return len(want) == 0 || want[k] }
 	quick := !*paperscale
+
+	// Ctrl-C stops the suite between missions instead of finishing all
+	// seeds; the driver reports which experiment was interrupted.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fail := func(what string, err error) {
+		if errors.Is(err, context.Canceled) {
+			log.Fatalf("%s: interrupted by signal", what)
+		}
+		log.Fatalf("%s: %v", what, err)
+	}
 
 	writeCSV := func(name string, fn func(io.Writer) error) {
 		if *csvDir == "" {
@@ -91,9 +106,9 @@ func main() {
 	if run("table6") {
 		log.Println("running Table 6 (algorithm comparison; exact MaMoRL rows may take a while)...")
 		start := time.Now()
-		rows, err := h.RunTable6(base)
+		rows, err := h.RunTable6(ctx, base)
 		if err != nil {
-			log.Fatalf("table 6: %v", err)
+			fail("table 6", err)
 		}
 		fmt.Println("=== Table 6: Comparison Among Implemented Algorithms ===")
 		fmt.Print(experiments.FormatTable6(rows))
@@ -112,9 +127,9 @@ func main() {
 		if *paperscale {
 			opts.BatchSize = neural.DefaultBatchSize
 		}
-		r, err := h.RunFigure3(p, opts, *seed)
+		r, err := h.RunFigure3(ctx, p, opts, *seed)
 		if err != nil {
-			log.Fatalf("figure 3: %v", err)
+			fail("figure 3", err)
 		}
 		fmt.Println("=== Figure 3 ===")
 		fmt.Print(experiments.FormatFigure3(r))
@@ -122,9 +137,9 @@ func main() {
 
 	if run("fig4") {
 		log.Println("running Figure 4 (Pareto front)...")
-		r, err := h.RunFigure4(base)
+		r, err := h.RunFigure4(ctx, base)
 		if err != nil {
-			log.Fatalf("figure 4: %v", err)
+			fail("figure 4", err)
 		}
 		fmt.Println("=== Figure 4 ===")
 		fmt.Print(experiments.FormatFigure4(r))
@@ -135,9 +150,9 @@ func main() {
 	if run("fig5") || run("fig7") {
 		log.Println("running Figure 5/7 sweeps (Approx-MaMoRL)...")
 		var err error
-		sweeps, err = h.RunSweeps(experiments.AlgoApprox, base, quick)
+		sweeps, err = h.RunSweeps(ctx, experiments.AlgoApprox, base, quick)
 		if err != nil {
-			log.Fatalf("figure 5/7 sweeps: %v", err)
+			fail("figure 5/7 sweeps", err)
 		}
 	}
 	if run("fig5") {
@@ -149,9 +164,9 @@ func main() {
 	}
 	if run("fig6") {
 		log.Println("running Figure 6 sweeps (partial knowledge)...")
-		pkSweeps, err := h.RunSweeps(experiments.AlgoApproxPK, base, quick)
+		pkSweeps, err := h.RunSweeps(ctx, experiments.AlgoApproxPK, base, quick)
 		if err != nil {
-			log.Fatalf("figure 6 sweeps: %v", err)
+			fail("figure 6 sweeps", err)
 		}
 		fmt.Println("=== Figure 6 ===")
 		fmt.Print(experiments.FormatSweeps("Figure 6", experiments.AlgoApproxPK, pkSweeps))
@@ -166,9 +181,9 @@ func main() {
 
 	if run("rendezvous") {
 		log.Println("running the rendezvous study (search + gather)...")
-		rows, err := h.RunRendezvous(base)
+		rows, err := h.RunRendezvous(ctx, base)
 		if err != nil {
-			log.Fatalf("rendezvous: %v", err)
+			fail("rendezvous", err)
 		}
 		fmt.Println("=== Rendezvous (ours; Definition 2 taken to the gathering point) ===")
 		fmt.Print(experiments.FormatRendezvous(rows))
@@ -176,9 +191,9 @@ func main() {
 
 	if run("commrange") {
 		log.Println("running the comm-range study...")
-		points, err := h.RunCommRange(base, nil)
+		points, err := h.RunCommRange(ctx, base, nil)
 		if err != nil {
-			log.Fatalf("comm range: %v", err)
+			fail("comm range", err)
 		}
 		fmt.Println("=== Comm range (ours; Section 2.4.1's limited communication) ===")
 		fmt.Print(experiments.FormatCommRange(points))
@@ -188,9 +203,9 @@ func main() {
 		log.Println("running the ablation study (deployment mechanisms)...")
 		p := base
 		p.Assets = 6 // collision-relevant mechanisms need a crowd
-		results, err := h.RunAblation(p)
+		results, err := h.RunAblation(ctx, p)
 		if err != nil {
-			log.Fatalf("ablation: %v", err)
+			fail("ablation", err)
 		}
 		fmt.Println("=== Ablation (not in the paper; see DESIGN.md §2) ===")
 		fmt.Print(experiments.FormatAblation(results))
@@ -210,9 +225,9 @@ func main() {
 		if quick {
 			runs = 3
 		}
-		r, err := experiments.RunFigure8(carib, naShore, experiments.Figure8Options{Runs: runs, Seed: *seed})
+		r, err := experiments.RunFigure8(ctx, carib, naShore, experiments.Figure8Options{Runs: runs, Seed: *seed})
 		if err != nil {
-			log.Fatalf("figure 8: %v", err)
+			fail("figure 8", err)
 		}
 		fmt.Println("=== Figure 8 ===")
 		fmt.Print(experiments.FormatFigure8(r))

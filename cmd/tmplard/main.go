@@ -5,64 +5,124 @@
 // Usage:
 //
 //	tmplard -addr :8080 -grids caribbean.json,ops.json
-//	tmplard -addr :8080 -preset caribbean
+//	tmplard -addr :8080 -preset caribbean -plan-timeout 10s
 //
 // Endpoints:
 //
 //	GET  /healthz          liveness
-//	GET  /api/grids        registered grids
+//	GET  /metrics          metrics (Prometheus text; ?format=json for JSON)
+//	GET  /api/grids        registered grids (name-sorted)
 //	POST /api/grids        upload a grid (JSON, gridgen format)
 //	POST /api/plan         global view: plan all assets of a mission
 //	POST /api/plan/asset   local view: plan a single asset
+//
+// The server answers 503 with a JSON error when a plan exceeds the
+// -plan-timeout deadline, 413 when a body exceeds the -max-grid-bytes /
+// -max-plan-bytes limits, and shuts down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	mamorl "github.com/routeplanning/mamorl"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		grids  = flag.String("grids", "", "comma-separated grid JSON files to preload")
-		preset = flag.String("preset", "", "preload a preset mesh: caribbean, na-shore, atlantic")
-		seed   = flag.Int64("seed", 1, "model training seed")
+		addr        = flag.String("addr", ":8080", "listen address")
+		grids       = flag.String("grids", "", "comma-separated grid JSON files to preload")
+		preset      = flag.String("preset", "", "preload a preset mesh: caribbean, na-shore, atlantic")
+		seed        = flag.Int64("seed", 1, "model training seed")
+		planTimeout = flag.Duration("plan-timeout", 30*time.Second, "per-request planning deadline (503 on expiry)")
+		maxGrid     = flag.Int64("max-grid-bytes", 32<<20, "grid upload body limit in bytes (413 beyond)")
+		maxPlan     = flag.Int64("max-plan-bytes", 1<<20, "plan request body limit in bytes (413 beyond)")
+		quiet       = flag.Bool("quiet", false, "disable per-request logging")
+		drain       = flag.Duration("drain", 35*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
 
-	log.Printf("training Approx-MaMoRL model (seed %d)...", *seed)
-	srv, err := mamorl.NewTMPLARServer(*seed)
+	logger := log.New(os.Stderr, "tmplard: ", log.LstdFlags)
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+
+	logger.Printf("training Approx-MaMoRL model (seed %d)...", *seed)
+	srv, err := mamorl.NewTMPLARServerOpts(*seed, mamorl.TMPLAROptions{
+		PlanTimeout:  *planTimeout,
+		MaxGridBytes: *maxGrid,
+		MaxPlanBytes: *maxPlan,
+		Logger:       reqLogger,
+	})
 	if err != nil {
-		log.Fatalf("tmplard: %v", err)
+		logger.Fatalf("%v", err)
 	}
 
 	if *grids != "" {
 		for _, path := range strings.Split(*grids, ",") {
 			g, err := mamorl.LoadGrid(strings.TrimSpace(path))
 			if err != nil {
-				log.Fatalf("tmplard: load %s: %v", path, err)
+				logger.Fatalf("load %s: %v", path, err)
 			}
 			srv.InstallGrid(g)
-			log.Printf("installed grid %v", g.Stats())
+			logger.Printf("installed grid %v", g.Stats())
 		}
 	}
 	if *preset != "" {
 		g, err := loadPreset(*preset, *seed)
 		if err != nil {
-			log.Fatalf("tmplard: %v", err)
+			logger.Fatalf("%v", err)
 		}
 		srv.InstallGrid(g)
-		log.Printf("installed preset %v", g.Stats())
+		logger.Printf("installed preset %v", g.Stats())
 	}
 
-	log.Printf("tmplard listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		log.Fatal(err)
+	// WriteTimeout must outlast the planning deadline: a mission that uses
+	// its full budget still needs time to serialize the route afterwards.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      srv.PlanTimeout() + 15*time.Second,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          logger,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (plan deadline %v)", *addr, srv.PlanTimeout())
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		logger.Printf("signal received; draining for up to %v", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+			_ = httpSrv.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("serve: %v", err)
+		}
+		logger.Printf("stopped")
 	}
 }
 

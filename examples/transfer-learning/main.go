@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 	}
 
 	fmt.Println("training a model per basin (each on a 50-node subregion) and cross-evaluating...")
-	res, err := experiments.RunFigure8(carib, naShore,
+	res, err := experiments.RunFigure8(context.Background(), carib, naShore,
 		experiments.Figure8Options{Runs: 5, Seed: 7})
 	if err != nil {
 		log.Fatal(err)

@@ -392,6 +392,28 @@ func TestMaskedToReturnsIndependentCopy(t *testing.T) {
 	if base.ext.Mask != nil {
 		t.Error("MaskedTo mutated the original planner")
 	}
+	// Regression: the copy used to share prevPos/lastSensed/stall, the
+	// navigator, and the rng with the original (shallow struct copy), so
+	// running both corrupted each other's watchdog state.
+	mp := masked.(*Planner)
+	if mp.rng == base.rng {
+		t.Error("masked copy shares the rng")
+	}
+	if mp.nav == base.nav {
+		t.Error("masked copy shares the navigator")
+	}
+	mp.prevPos[0] = 7
+	mp.lastSensed[0] = 42
+	mp.stall[0] = 3
+	if len(base.prevPos) != 0 || len(base.lastSensed) != 0 || len(base.stall) != 0 {
+		t.Errorf("masked copy aliases the original's watchdog maps: prevPos=%v lastSensed=%v stall=%v",
+			base.prevPos, base.lastSensed, base.stall)
+	}
+	hinted := base.WithDestHint(5)
+	hinted.stall[1] = 9
+	if len(base.stall) != 0 {
+		t.Error("WithDestHint copy aliases the original's stall map")
+	}
 }
 
 func TestPlannerRespectsObstacles(t *testing.T) {

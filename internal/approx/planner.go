@@ -45,6 +45,7 @@ type Planner struct {
 	stall      map[int]int
 	nav        *sim.Navigator
 	opts       Options
+	seed       int64
 }
 
 // stallPatience is how many epochs without sensing progress a planner
@@ -90,15 +91,32 @@ func NewPlannerOpts(model Model, ext features.Extractor, seed int64, opts Option
 		lastSensed: make(map[int]int),
 		stall:      make(map[int]int),
 		nav:        sim.NewNavigator(),
+		seed:       seed,
 	}
+}
+
+// clone returns a copy sharing the model and extractor but owning fresh
+// per-mission state: watchdog maps, navigator, and a derived rng. A naive
+// struct copy would share those (maps and pointers alias), so running the
+// original and a copy would corrupt each other's watchdog and jitter
+// sequence.
+func (p *Planner) clone() *Planner {
+	cp := *p
+	cp.prevPos = make(map[int]grid.NodeID)
+	cp.lastSensed = make(map[int]int)
+	cp.stall = make(map[int]int)
+	cp.nav = sim.NewNavigator()
+	cp.seed = p.seed + 1
+	cp.rng = rand.New(rand.NewSource(cp.seed))
+	return &cp
 }
 
 // WithDestHint returns a copy of the planner that resolves the destination
 // to the given node while the true destination is unknown.
 func (p *Planner) WithDestHint(hint features.DestArg) *Planner {
-	cp := *p
+	cp := p.clone()
 	cp.hint = hint
-	return &cp
+	return cp
 }
 
 // WithMask returns a copy of the planner whose exploration only values
@@ -106,9 +124,9 @@ func (p *Planner) WithDestHint(hint features.DestArg) *Planner {
 // everything else. The partial-knowledge planner masks to the region known
 // to contain the destination.
 func (p *Planner) WithMask(mask func(grid.NodeID) bool) *Planner {
-	cp := *p
+	cp := p.clone()
 	cp.ext.Mask = mask
-	return &cp
+	return cp
 }
 
 // MaskedTo implements partial.Maskable.

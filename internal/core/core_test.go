@@ -537,3 +537,50 @@ func TestTrainingImprovesOverUntrained(t *testing.T) {
 		t.Errorf("training hurt badly: trained %v vs untrained %v", trainedT, untrainedT)
 	}
 }
+
+func TestMaskedToDoesNotShareMutableState(t *testing.T) {
+	// Regression: MaskedTo used to shallow-copy the planner, so the masked
+	// copy shared prevPos/lastSensed/stall, the navigator, and the rng with
+	// the original — two planners composed over the same tables corrupted
+	// each other's watchdog state mid-mission.
+	g := meshGrid(t, 5, 5)
+	team := vessel.NewTeam([]grid.NodeID{0, 24}, 1.5, 1)
+	sc := sim.Scenario{Grid: g, Team: team, Dest: 12, CommEvery: 2}
+	pl, err := NewPlanner(sc, Config{Seed: 11}, rewardfn.DefaultWeights())
+	if err != nil {
+		t.Fatalf("NewPlanner: %v", err)
+	}
+	masked := pl.MaskedTo(func(grid.NodeID) bool { return true }).(*Planner)
+
+	if masked.rng == pl.rng {
+		t.Error("masked copy shares the rng")
+	}
+	if masked.nav == pl.nav {
+		t.Error("masked copy shares the navigator")
+	}
+
+	// Learned tables ARE shared — that is the point of the composition.
+	for j := range pl.p {
+		if masked.p[j] != pl.p[j] {
+			t.Errorf("P table %d not shared", j)
+		}
+	}
+
+	// Mutating the copy's per-mission state must not leak into the original.
+	masked.prevPos[0] = 7
+	masked.lastSensed[0] = 99
+	masked.stall[0] = 3
+	if len(pl.prevPos) != 0 || len(pl.lastSensed) != 0 || len(pl.stall) != 0 {
+		t.Fatalf("masked copy aliases the original's watchdog maps: prevPos=%v lastSensed=%v stall=%v",
+			pl.prevPos, pl.lastSensed, pl.stall)
+	}
+
+	// Running a full mission under the masked copy must leave the original's
+	// per-mission state untouched.
+	if _, err := sim.Run(sc, masked, sim.RunOptions{}); err != nil {
+		t.Fatalf("masked run: %v", err)
+	}
+	if len(pl.prevPos) != 0 || len(pl.lastSensed) != 0 || len(pl.stall) != 0 {
+		t.Error("running the masked copy mutated the original planner")
+	}
+}

@@ -130,9 +130,19 @@ func (pl *Planner) Name() string { return "MaMoRL" }
 // paper's "MaMoRL with partial knowledge" (Section 4.1.2-1) composes the
 // exact solver with a Dijkstra transit leg exactly as it composes the
 // approximate one.
+//
+// The learned p/q tables are intentionally shared (they are the point of
+// the composition); everything per-mission — watchdog maps, navigator,
+// rng — is fresh, so the masked copy and the original can each run a
+// mission without corrupting the other's state.
 func (pl *Planner) MaskedTo(mask func(grid.NodeID) bool) sim.Planner {
 	cp := *pl
 	cp.mask = mask
+	cp.prevPos = make(map[int]grid.NodeID)
+	cp.lastSensed = make(map[int]int)
+	cp.stall = make(map[int]int)
+	cp.nav = sim.NewNavigator()
+	cp.rng = rand.New(rand.NewSource(pl.cfg.Seed + 1))
 	return &cp
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -48,7 +49,7 @@ type AblationResult struct {
 // RunAblation evaluates every variant over p.Runs seeded instances (the
 // same instances for every variant, so differences are attributable to the
 // mechanism).
-func (h *Harness) RunAblation(p Params) ([]AblationResult, error) {
+func (h *Harness) RunAblation(ctx context.Context, p Params) ([]AblationResult, error) {
 	var out []AblationResult
 	for _, v := range AblationVariants() {
 		res := AblationResult{Variant: v.Name, Runs: p.Runs}
@@ -61,7 +62,7 @@ func (h *Harness) RunAblation(p Params) ([]AblationResult, error) {
 			}
 			pl := approx.NewPlannerOpts(h.Linear, h.Pipe.Extractor, p.Seed+int64(run)*31, v.Opts)
 			start := time.Now()
-			r, err := sim.Run(sc, pl, sim.RunOptions{})
+			r, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
 			if err != nil {
 				return nil, fmt.Errorf("ablation %s run %d: %w", v.Name, run, err)
 			}

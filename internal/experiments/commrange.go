@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -22,7 +23,7 @@ type CommRangePoint struct {
 
 // RunCommRange sweeps the radio range for Approx-MaMoRL. Factors are in
 // average-edge-weight units; 0 means unlimited.
-func (h *Harness) RunCommRange(p Params, factors []float64) ([]CommRangePoint, error) {
+func (h *Harness) RunCommRange(ctx context.Context, p Params, factors []float64) ([]CommRangePoint, error) {
 	if len(factors) == 0 {
 		factors = []float64{0, 8, 4, 2}
 	}
@@ -38,7 +39,7 @@ func (h *Harness) RunCommRange(p Params, factors []float64) ([]CommRangePoint, e
 			}
 			pv.CommRange = factor * sc.Grid.AvgEdgeWeight()
 		}
-		rs, err := h.Evaluate(AlgoApprox, pv)
+		rs, err := h.Evaluate(ctx, AlgoApprox, pv)
 		if err != nil {
 			return nil, fmt.Errorf("comm range %v: %w", factor, err)
 		}

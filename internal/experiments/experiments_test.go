@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"strings"
 	"testing"
@@ -49,7 +50,7 @@ func TestDefaultParamsMatchTable4(t *testing.T) {
 
 func TestEvaluateApprox(t *testing.T) {
 	h := harness(t)
-	rs, err := h.Evaluate(AlgoApprox, smallParams())
+	rs, err := h.Evaluate(context.Background(), AlgoApprox, smallParams())
 	if err != nil {
 		t.Fatalf("Evaluate: %v", err)
 	}
@@ -71,7 +72,7 @@ func TestEvaluateAllAlgorithmsSmall(t *testing.T) {
 	h := harness(t)
 	p := smallParams()
 	for _, algo := range AllAlgorithms {
-		rs, err := h.Evaluate(algo, p)
+		rs, err := h.Evaluate(context.Background(), algo, p)
 		if err != nil {
 			t.Fatalf("Evaluate(%s): %v", algo, err)
 		}
@@ -92,7 +93,7 @@ func TestEvaluateExactRefusesHugeInstance(t *testing.T) {
 	p.Nodes, p.Edges, p.MaxOutDegree, p.Assets = 400, 846, 9, 3
 	p.MaxSpeed = 5
 	p.Runs = 1
-	rs, err := h.Evaluate(AlgoMaMoRL, p)
+	rs, err := h.Evaluate(context.Background(), AlgoMaMoRL, p)
 	if err != nil {
 		t.Fatalf("Evaluate: %v", err)
 	}
@@ -111,7 +112,7 @@ func TestEvaluateExactRunsSmallInstance(t *testing.T) {
 	p := smallParams()
 	p.Nodes, p.Edges, p.MaxOutDegree = 100, 210, 6
 	p.Runs = 1
-	rs, err := h.Evaluate(AlgoMaMoRL, p)
+	rs, err := h.Evaluate(context.Background(), AlgoMaMoRL, p)
 	if err != nil {
 		t.Fatalf("Evaluate: %v", err)
 	}
@@ -158,7 +159,7 @@ func TestFormatTable6RendersNA(t *testing.T) {
 func TestRunFigure3Quick(t *testing.T) {
 	h := harness(t)
 	p := smallParams()
-	r, err := h.RunFigure3(p, neural.TrainOptions{Epochs: 40, BatchSize: 256, LearningRate: 0.05}, 5)
+	r, err := h.RunFigure3(context.Background(), p, neural.TrainOptions{Epochs: 40, BatchSize: 256, LearningRate: 0.05}, 5)
 	if err != nil {
 		t.Fatalf("RunFigure3: %v", err)
 	}
@@ -178,7 +179,7 @@ func TestRunFigure3Quick(t *testing.T) {
 
 func TestRunFigure4Quick(t *testing.T) {
 	h := harness(t)
-	r, err := h.RunFigure4(smallParams())
+	r, err := h.RunFigure4(context.Background(), smallParams())
 	if err != nil {
 		t.Fatalf("RunFigure4: %v", err)
 	}
@@ -199,7 +200,7 @@ func TestRunFigure4Quick(t *testing.T) {
 func TestRunSweepsQuick(t *testing.T) {
 	h := harness(t)
 	p := smallParams()
-	sweeps, err := h.RunSweeps(AlgoApprox, p, true)
+	sweeps, err := h.RunSweeps(context.Background(), AlgoApprox, p, true)
 	if err != nil {
 		t.Fatalf("RunSweeps: %v", err)
 	}
@@ -238,7 +239,7 @@ func TestRunSweepsPartialKnowledgeQuick(t *testing.T) {
 	p := smallParams()
 	// One sweep value is enough to exercise the PK path through sweeps.
 	p.Runs = 2
-	pt, err := h.sweepPoint(AlgoApproxPK, p, p.Nodes)
+	pt, err := h.sweepPoint(context.Background(), AlgoApproxPK, p, p.Nodes)
 	if err != nil {
 		t.Fatalf("sweepPoint PK: %v", err)
 	}
@@ -266,7 +267,7 @@ func TestRunFigure8Quick(t *testing.T) {
 	if err != nil {
 		t.Fatalf("partner mesh: %v", err)
 	}
-	r, err := RunFigure8(carib, partner, Figure8Options{Runs: 2, Seed: 7})
+	r, err := RunFigure8(context.Background(), carib, partner, Figure8Options{Runs: 2, Seed: 7})
 	if err != nil {
 		t.Fatalf("RunFigure8: %v", err)
 	}
@@ -287,7 +288,7 @@ func TestRunAblationQuick(t *testing.T) {
 	h := harness(t)
 	p := smallParams()
 	p.Assets = 4 // collision-relevant mechanisms need a crowd
-	results, err := h.RunAblation(p)
+	results, err := h.RunAblation(context.Background(), p)
 	if err != nil {
 		t.Fatalf("RunAblation: %v", err)
 	}
@@ -323,12 +324,12 @@ func TestEvaluateParallelMatchesSerial(t *testing.T) {
 	p := smallParams()
 	p.Runs = 4
 
-	serial, err := h.Evaluate(AlgoApprox, p)
+	serial, err := h.Evaluate(context.Background(), AlgoApprox, p)
 	if err != nil {
 		t.Fatalf("serial: %v", err)
 	}
 	p.Parallel = 4
-	parallel, err := h.Evaluate(AlgoApprox, p)
+	parallel, err := h.Evaluate(context.Background(), AlgoApprox, p)
 	if err != nil {
 		t.Fatalf("parallel: %v", err)
 	}
@@ -347,7 +348,7 @@ func TestRunRendezvousQuick(t *testing.T) {
 	h := harness(t)
 	p := smallParams()
 	p.Assets = 3
-	rows, err := h.RunRendezvous(p)
+	rows, err := h.RunRendezvous(context.Background(), p)
 	if err != nil {
 		t.Fatalf("RunRendezvous: %v", err)
 	}
@@ -391,7 +392,7 @@ func TestCSVExports(t *testing.T) {
 		t.Errorf("table6 csv wrong: %v", recs)
 	}
 
-	sweeps, err := h.RunSweeps(AlgoApprox, p, true)
+	sweeps, err := h.RunSweeps(context.Background(), AlgoApprox, p, true)
 	if err != nil {
 		t.Fatalf("RunSweeps: %v", err)
 	}
@@ -411,7 +412,7 @@ func TestCSVExports(t *testing.T) {
 		t.Errorf("sweeps csv rows = %d, want %d", len(recs), wantRows)
 	}
 
-	fig4, err := h.RunFigure4(p)
+	fig4, err := h.RunFigure4(context.Background(), p)
 	if err != nil {
 		t.Fatalf("RunFigure4: %v", err)
 	}
@@ -454,7 +455,7 @@ func TestRunCommRangeQuick(t *testing.T) {
 	h := harness(t)
 	p := smallParams()
 	p.Assets = 3
-	points, err := h.RunCommRange(p, []float64{0, 3})
+	points, err := h.RunCommRange(context.Background(), p, []float64{0, 3})
 	if err != nil {
 		t.Fatalf("RunCommRange: %v", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -29,7 +30,7 @@ type Figure3Result struct {
 // RunFigure3 fits both models on the harness's samples (Section 4.2) and
 // evaluates them on the given parameter setting. nnOpts controls the SGD
 // budget; the zero value selects Table 5's batch 1000 / 10000 epochs.
-func (h *Harness) RunFigure3(p Params, nnOpts neural.TrainOptions, seed int64) (Figure3Result, error) {
+func (h *Harness) RunFigure3(ctx context.Context, p Params, nnOpts neural.TrainOptions, seed int64) (Figure3Result, error) {
 	out := Figure3Result{LinearTrainTime: h.LinearTrainTime}
 	nnModel, nnDur, err := approx.FitNeural(h.Pipe.Data, nnOpts, seed)
 	if err != nil {
@@ -40,7 +41,7 @@ func (h *Harness) RunFigure3(p Params, nnOpts neural.TrainOptions, seed int64) (
 		out.Speedup = float64(nnDur) / float64(h.LinearTrainTime)
 	}
 
-	lin, err := h.Evaluate(AlgoApprox, p)
+	lin, err := h.Evaluate(ctx, AlgoApprox, p)
 	if err != nil {
 		return out, err
 	}
@@ -55,7 +56,7 @@ func (h *Harness) RunFigure3(p Params, nnOpts neural.TrainOptions, seed int64) (
 		}
 		start := time.Now()
 		pl := approx.NewPlanner(nnModel, h.Pipe.Extractor, seed+int64(run))
-		res, err := sim.Run(sc, pl, sim.RunOptions{})
+		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
 		if err != nil {
 			return out, err
 		}
@@ -67,6 +68,9 @@ func (h *Harness) RunFigure3(p Params, nnOpts neural.TrainOptions, seed int64) (
 		if res.Collisions > 0 {
 			nn.CollidedRuns++
 		}
+		nn.PerRun = append(nn.PerRun, RunValue{
+			Seed: seed + int64(run), Found: res.Found, TTotal: res.TTotal, FTotal: res.FTotal,
+		})
 		nn.TTotal = append(nn.TTotal, res.TTotal)
 		nn.FTotal = append(nn.FTotal, res.FTotal)
 	}
@@ -104,14 +108,14 @@ var Figure4Algorithms = []string{AlgoApprox, AlgoApproxPK, AlgoBaseline1, AlgoRa
 
 // RunFigure4 gathers per-run (F_total, T_total) outcomes for each planner
 // and extracts the Pareto front (both objectives minimized).
-func (h *Harness) RunFigure4(p Params) (Figure4Result, error) {
+func (h *Harness) RunFigure4(ctx context.Context, p Params) (Figure4Result, error) {
 	out := Figure4Result{
 		Points:     make(map[string][]stats.Point2),
 		FrontShare: make(map[string]int),
 	}
 	var union []stats.Point2
 	for _, algo := range Figure4Algorithms {
-		rs, err := h.Evaluate(algo, p)
+		rs, err := h.Evaluate(ctx, algo, p)
 		if err != nil {
 			return out, err
 		}
@@ -229,7 +233,7 @@ func Sweeps(quick bool) []SweepSpec {
 // RunSweeps evaluates the subject algorithm (AlgoApprox for Figure 5,
 // AlgoApproxPK for Figure 6) against Baseline-1 and Random Walk over every
 // sweep. The same data carries Figure 7's running-time series.
-func (h *Harness) RunSweeps(subject string, base Params, quick bool) ([]SweepResult, error) {
+func (h *Harness) RunSweeps(ctx context.Context, subject string, base Params, quick bool) ([]SweepResult, error) {
 	p := base
 	if quick {
 		p = base.Quick()
@@ -254,7 +258,7 @@ func (h *Harness) RunSweeps(subject string, base Params, quick bool) ([]SweepRes
 					return nil, fmt.Errorf("sweep episodes=%d: harness: %w", v, err)
 				}
 			}
-			pt, err := hv.sweepPoint(subject, pv, v)
+			pt, err := hv.sweepPoint(ctx, subject, pv, v)
 			if err != nil {
 				return nil, fmt.Errorf("sweep %s=%d: %w", spec.Param, v, err)
 			}
@@ -265,17 +269,17 @@ func (h *Harness) RunSweeps(subject string, base Params, quick bool) ([]SweepRes
 	return out, nil
 }
 
-func (h *Harness) sweepPoint(subject string, p Params, value int) (SweepPoint, error) {
+func (h *Harness) sweepPoint(ctx context.Context, subject string, p Params, value int) (SweepPoint, error) {
 	pt := SweepPoint{Value: float64(value)}
-	subj, err := h.Evaluate(subject, p)
+	subj, err := h.Evaluate(ctx, subject, p)
 	if err != nil {
 		return pt, err
 	}
-	b1, err := h.Evaluate(AlgoBaseline1, p)
+	b1, err := h.Evaluate(ctx, AlgoBaseline1, p)
 	if err != nil {
 		return pt, err
 	}
-	rw, err := h.Evaluate(AlgoRandomWalk, p)
+	rw, err := h.Evaluate(ctx, AlgoRandomWalk, p)
 	if err != nil {
 		return pt, err
 	}
@@ -284,10 +288,11 @@ func (h *Harness) sweepPoint(subject string, p Params, value int) (SweepPoint, e
 	pt.RIFuelVsB1 = stats.RelativeImprovement(b1.MeanF(), subj.MeanF())
 	pt.RITimeVsRW = stats.RelativeImprovement(rw.MeanT(), subj.MeanT())
 	pt.RIFuelVsRW = stats.RelativeImprovement(rw.MeanF(), subj.MeanF())
-	if len(subj.TTotal) == len(b1.TTotal) && len(subj.TTotal) >= 2 {
-		if tt, err := stats.PairedTTest(subj.TTotal, b1.TTotal); err == nil {
-			pt.SignificantVsB1 = tt.Significant(0.05)
-		}
+	// Pair on run indices both algorithms completed (PairedObjectives); a
+	// bare length check on TTotal cannot detect two algorithms failing on
+	// different seeds and would feed the t-test misaligned samples.
+	if tt, ok := PairedTTestT(subj, b1); ok {
+		pt.SignificantVsB1 = tt.Significant(0.05)
 	}
 	runs := time.Duration(maxInt(1, subj.Runs))
 	pt.SubjectCPU = subj.CPUTime / runs
@@ -376,7 +381,7 @@ func (o Figure8Options) withDefaults() Figure8Options {
 // source) cannot run on a full basin, so each basin's pipeline trains on a
 // 50-node connected subregion of it — the same size as the paper's
 // training grid.
-func RunFigure8(carib, naShore *grid.Grid, opts Figure8Options) (Figure8Result, error) {
+func RunFigure8(ctx context.Context, carib, naShore *grid.Grid, opts Figure8Options) (Figure8Result, error) {
 	opts = opts.withDefaults()
 	basins := []struct {
 		name string
@@ -410,7 +415,7 @@ func RunFigure8(carib, naShore *grid.Grid, opts Figure8Options) (Figure8Result, 
 				}
 				pl := approx.NewPlanner(h.Linear, h.Pipe.Extractor, opts.Seed+int64(run))
 				start := time.Now()
-				res, err := sim.Run(sc, pl, sim.RunOptions{})
+				res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
 				if err != nil {
 					return out, err
 				}
@@ -418,6 +423,10 @@ func RunFigure8(carib, naShore *grid.Grid, opts Figure8Options) (Figure8Result, 
 				if res.Found {
 					rs.FoundRuns++
 				}
+				rs.PerRun = append(rs.PerRun, RunValue{
+					Seed: opts.Seed + int64(run), Found: res.Found,
+					TTotal: res.TTotal, FTotal: res.FTotal,
+				})
 				rs.TTotal = append(rs.TTotal, res.TTotal)
 				rs.FTotal = append(rs.FTotal, res.FTotal)
 			}

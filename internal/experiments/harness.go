@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -53,12 +54,30 @@ func NewHarness(cfg approx.TrainConfig) (*Harness, error) {
 	return &Harness{Pipe: pipe, Linear: lin, LinearTrainTime: dur}, nil
 }
 
+// RunValue is one seeded run's outcome, recorded at its run index whether
+// or not the mission found the destination. It is the unit of the
+// seed-pairing contract: two RunStats produced with the same Params use the
+// same seed at the same run index, so pairing across algorithms means
+// intersecting run indices where both have Found set (PairedObjectives).
+type RunValue struct {
+	Seed   int64
+	Found  bool
+	TTotal float64
+	FTotal float64
+}
+
 // RunStats aggregates one algorithm's seeded runs on one parameter setting.
 type RunStats struct {
 	Algorithm string
 	Runs      int
-	// Per-run objective values (Definitions 1 and 2), aligned by seed so
-	// paired t-tests are valid across algorithms.
+	// PerRun records every run's outcome at its run index (len == Runs for
+	// a completed evaluation). This is the seed-aligned record backing
+	// paired t-tests: TTotal/FTotal below drop failed runs and therefore
+	// lose alignment as soon as two algorithms fail on different seeds.
+	PerRun []RunValue
+	// Per-run objective values (Definitions 1 and 2) of the runs that found
+	// the destination, in run order. Means and distributional plots use
+	// these; paired comparisons must use PerRun (see PairedObjectives).
 	TTotal []float64
 	FTotal []float64
 	// FoundRuns counts runs that discovered the destination; CollidedRuns
@@ -99,19 +118,29 @@ type runOutcome struct {
 	err error
 }
 
+// runSeed is the planner seed of run index `run` under p: the single place
+// the seed schedule lives, so PerRun records and re-runs agree on it.
+func runSeed(p Params, run int) int64 { return p.Seed + int64(run)*104729 }
+
 // Evaluate runs one algorithm over p.Runs seeded instances, in parallel if
 // p.Parallel > 1. Run results stay aligned by seed regardless of
-// completion order, keeping paired t-tests across algorithms valid.
-func (h *Harness) Evaluate(algo string, p Params) (RunStats, error) {
+// completion order — PerRun[i] always holds run i — keeping paired t-tests
+// across algorithms valid. Cancelling ctx stops the evaluation between
+// missions (and aborts in-flight missions between epochs) and returns
+// ctx's error.
+func (h *Harness) Evaluate(ctx context.Context, algo string, p Params) (RunStats, error) {
 	rs := RunStats{Algorithm: algo, Runs: p.Runs}
 	outcomes := make([]runOutcome, p.Runs)
 
 	execute := func(run int) runOutcome {
+		if err := ctx.Err(); err != nil {
+			return runOutcome{err: err}
+		}
 		sc, err := scenarioFor(p, run)
 		if err != nil {
 			return runOutcome{err: err}
 		}
-		res, cpu, mem, err := h.runOne(algo, sc, p, run)
+		res, cpu, mem, err := h.runOne(ctx, algo, sc, p, run)
 		if err != nil && errors.Is(err, core.ErrMemoryBudget) {
 			numActions := core.InstanceActions(sc.Grid, sc.Team)
 			return runOutcome{
@@ -141,7 +170,9 @@ func (h *Harness) Evaluate(algo string, p Params) (RunStats, error) {
 		}
 	}
 
-	for _, out := range outcomes {
+	rs.PerRun = make([]RunValue, p.Runs)
+	for run, out := range outcomes {
+		rs.PerRun[run] = RunValue{Seed: runSeed(p, run)}
 		if out.err != nil {
 			if errors.Is(out.err, core.ErrMemoryBudget) {
 				return RunStats{
@@ -168,6 +199,9 @@ func (h *Harness) Evaluate(algo string, p Params) (RunStats, error) {
 		// objective values; a MaxSteps timeout has no meaningful T/F.
 		if out.res.Found {
 			rs.FoundRuns++
+			rs.PerRun[run].Found = true
+			rs.PerRun[run].TTotal = out.res.TTotal
+			rs.PerRun[run].FTotal = out.res.FTotal
 			rs.TTotal = append(rs.TTotal, out.res.TTotal)
 			rs.FTotal = append(rs.FTotal, out.res.FTotal)
 		}
@@ -188,8 +222,9 @@ func (h *Harness) Evaluate(algo string, p Params) (RunStats, error) {
 
 // runOne executes a single seeded run of an algorithm, returning the
 // mission result, the planner CPU time, and the planner memory footprint.
-func (h *Harness) runOne(algo string, sc sim.Scenario, p Params, run int) (sim.Result, time.Duration, float64, error) {
-	seed := p.Seed + int64(run)*104729
+// The mission aborts between epochs when ctx is cancelled.
+func (h *Harness) runOne(ctx context.Context, algo string, sc sim.Scenario, p Params, run int) (sim.Result, time.Duration, float64, error) {
+	seed := runSeed(p, run)
 	start := time.Now()
 	switch algo {
 	case AlgoMaMoRL:
@@ -200,13 +235,13 @@ func (h *Harness) runOne(algo string, sc sim.Scenario, p Params, run int) (sim.R
 		if err := pl.Train(); err != nil {
 			return sim.Result{}, 0, 0, err
 		}
-		res, err := sim.Run(sc, pl, sim.RunOptions{})
+		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
 		st := pl.TableStats()
 		return res, time.Since(start), st.DenseQBytes, err
 
 	case AlgoApprox:
 		pl := approx.NewPlanner(h.Linear, h.Pipe.Extractor, seed)
-		res, err := sim.Run(sc, pl, sim.RunOptions{})
+		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
 		return res, time.Since(start), float64(pl.MemoryBytes(len(sc.Team))), err
 
 	case AlgoApproxPK:
@@ -215,17 +250,17 @@ func (h *Harness) runOne(algo string, sc sim.Scenario, p Params, run int) (sim.R
 		if err != nil {
 			return sim.Result{}, 0, 0, err
 		}
-		res, err := sim.Run(sc, pl, sim.RunOptions{})
+		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
 		return res, time.Since(start), float64(inner.MemoryBytes(len(sc.Team))), err
 
 	case AlgoBaseline1:
 		pl := baselines.NewRoundRobin(rewardfn.Weights{}, seed)
-		res, err := sim.Run(sc, pl, sim.RunOptions{})
+		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
 		return res, time.Since(start), baselineStateBytes(len(sc.Team)), err
 
 	case AlgoBaseline2:
 		pl := baselines.NewIndependent(rewardfn.Weights{}, seed)
-		res, err := sim.Run(sc, pl, sim.RunOptions{Collision: sim.AbortOnCollision})
+		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{Collision: sim.AbortOnCollision})
 		return res, time.Since(start), baselineStateBytes(len(sc.Team)), err
 
 	case AlgoRandomWalk:
@@ -234,7 +269,7 @@ func (h *Harness) runOne(algo string, sc sim.Scenario, p Params, run int) (sim.R
 		// thousands); give it the step budget to actually finish.
 		sc.MaxSteps = sc.Grid.NumNodes() * 150
 		pl := baselines.NewRandomWalk(seed)
-		res, err := sim.Run(sc, pl, sim.RunOptions{})
+		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
 		return res, time.Since(start), baselineStateBytes(len(sc.Team)), err
 
 	default:

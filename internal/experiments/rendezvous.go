@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -22,21 +23,22 @@ type RendezvousRow struct {
 
 // RunRendezvous evaluates the runnable algorithms with Scenario.Rendezvous
 // enabled.
-func (h *Harness) RunRendezvous(p Params) ([]RendezvousRow, error) {
+func (h *Harness) RunRendezvous(ctx context.Context, p Params) ([]RendezvousRow, error) {
 	algos := []string{AlgoApprox, AlgoApproxPK, AlgoBaseline1, AlgoBaseline2}
 	var out []RendezvousRow
 	for _, algo := range algos {
 		row := RendezvousRow{Algorithm: algo}
 		var fracSum float64
 		var fracN int
-		rs := RunStats{Algorithm: algo, Runs: p.Runs}
+		rs := RunStats{Algorithm: algo, Runs: p.Runs, PerRun: make([]RunValue, p.Runs)}
 		for run := 0; run < p.Runs; run++ {
+			rs.PerRun[run] = RunValue{Seed: runSeed(p, run)}
 			sc, err := scenarioFor(p, run)
 			if err != nil {
 				return nil, err
 			}
 			sc.Rendezvous = true
-			res, cpu, mem, err := h.runOne(algo, sc, p, run)
+			res, cpu, mem, err := h.runOne(ctx, algo, sc, p, run)
 			if err != nil {
 				return nil, fmt.Errorf("rendezvous %s run %d: %w", algo, run, err)
 			}
@@ -52,6 +54,9 @@ func (h *Harness) RunRendezvous(p Params) ([]RendezvousRow, error) {
 			}
 			if res.Found && res.Steps > 0 {
 				rs.FoundRuns++
+				rs.PerRun[run].Found = true
+				rs.PerRun[run].TTotal = res.TTotal
+				rs.PerRun[run].FTotal = res.FTotal
 				rs.TTotal = append(rs.TTotal, res.TTotal)
 				rs.FTotal = append(rs.FTotal, res.FTotal)
 				fracSum += float64(res.DiscoverySteps) / float64(res.Steps)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -40,11 +41,11 @@ type Table6Row struct {
 }
 
 // RunTable6 evaluates every algorithm on every Table 6 scenario.
-func (h *Harness) RunTable6(base Params) ([]Table6Row, error) {
+func (h *Harness) RunTable6(ctx context.Context, base Params) ([]Table6Row, error) {
 	var rows []Table6Row
 	for _, sc := range Table6Scenarios(base) {
 		for _, algo := range AllAlgorithms {
-			rs, err := h.Evaluate(algo, sc.Params)
+			rs, err := h.Evaluate(ctx, algo, sc.Params)
 			if err != nil {
 				return nil, fmt.Errorf("table 6, %s / %s: %w", sc.Label, algo, err)
 			}

@@ -1,0 +1,359 @@
+// Package obs is a stdlib-only observability registry for the serving
+// surface: atomic counters and fixed-bucket histograms, exposed as JSON (for
+// dashboards and tests) and as Prometheus text exposition format (for
+// scrapers). It exists so the TMPLAR service can report request volume,
+// latency, and planning work without pulling a metrics dependency into a
+// repository that is otherwise stdlib-only.
+//
+// Metrics are identified by a name plus an ordered list of label key/value
+// pairs. Lookups are cheap (one map access under a read lock); increments on
+// an already-held handle are a single atomic add, safe for concurrent
+// handlers.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram accumulates observations into fixed, cumulative-style buckets
+// (each bucket counts observations <= its bound, Prometheus `le` semantics
+// are derived at export time) plus a running sum and count.
+type Histogram struct {
+	bounds []float64       // strictly increasing upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefaultLatencyBuckets covers sub-millisecond handler turns through the
+// 30-second default planning deadline, in seconds.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Registry holds named metrics. The zero value is not usable; call New.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*counterEntry
+	hists    map[string]*histEntry
+}
+
+type counterEntry struct {
+	name   string
+	labels []string // alternating key, value
+	c      *Counter
+}
+
+type histEntry struct {
+	name   string
+	labels []string
+	h      *Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*counterEntry),
+		hists:    make(map[string]*histEntry),
+	}
+}
+
+// metricKey builds the lookup key for a name and alternating key/value
+// labels.
+func metricKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('|')
+		b.WriteString(l)
+	}
+	return b.String()
+}
+
+// Counter returns (creating on first use) the counter with the given name
+// and alternating key/value labels. Panics on an odd label count — that is a
+// programming error, not input.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if len(labels)%2 != 0 {
+		panic("obs: odd label count for " + name)
+	}
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	e, ok := r.counters[key]
+	r.mu.RUnlock()
+	if ok {
+		return e.c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok = r.counters[key]; ok {
+		return e.c
+	}
+	e = &counterEntry{name: name, labels: append([]string(nil), labels...), c: &Counter{}}
+	r.counters[key] = e
+	return e.c
+}
+
+// Histogram returns (creating on first use) the histogram with the given
+// name, bucket bounds, and alternating key/value labels. The bounds of the
+// first registration win.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if len(labels)%2 != 0 {
+		panic("obs: odd label count for " + name)
+	}
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	e, ok := r.hists[key]
+	r.mu.RUnlock()
+	if ok {
+		return e.h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok = r.hists[key]; ok {
+		return e.h
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(h.bounds)+1)
+	e = &histEntry{name: name, labels: append([]string(nil), labels...), h: h}
+	r.hists[key] = e
+	return e.h
+}
+
+// --- Export ------------------------------------------------------------------
+
+// CounterSnapshot is one counter's exported state.
+type CounterSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  uint64            `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's exported state. Buckets are
+// cumulative counts of observations <= the matching bound; the +Inf bucket
+// equals Count.
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Bounds  []float64         `json:"bounds"`
+	Buckets []uint64          `json:"buckets"`
+}
+
+// Snapshot is a point-in-time JSON-able view of the whole registry.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+func labelMap(labels []string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		m[labels[i]] = labels[i+1]
+	}
+	return m
+}
+
+// Snapshot captures the registry, sorted by name then labels for stable
+// output.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var s Snapshot
+	for _, e := range r.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{
+			Name: e.name, Labels: labelMap(e.labels), Value: e.c.Value(),
+		})
+	}
+	for _, e := range r.hists {
+		hs := HistogramSnapshot{
+			Name: e.name, Labels: labelMap(e.labels),
+			Count: e.h.Count(), Sum: e.h.Sum(),
+			Bounds: append([]float64(nil), e.h.bounds...),
+		}
+		cum := uint64(0)
+		for i := range e.h.counts {
+			cum += e.h.counts[i].Load()
+			hs.Buckets = append(hs.Buckets, cum)
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return counterLess(s.Counters[i], s.Counters[j]) })
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		if s.Histograms[i].Name != s.Histograms[j].Name {
+			return s.Histograms[i].Name < s.Histograms[j].Name
+		}
+		return fmt.Sprint(s.Histograms[i].Labels) < fmt.Sprint(s.Histograms[j].Labels)
+	})
+	return s
+}
+
+func counterLess(a, b CounterSnapshot) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return fmt.Sprint(a.Labels) < fmt.Sprint(b.Labels)
+}
+
+// CounterValue returns the current value of a counter, 0 when absent. Test
+// and dashboard convenience.
+func (r *Registry) CounterValue(name string, labels ...string) uint64 {
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.counters[key]; ok {
+		return e.c.Value()
+	}
+	return 0
+}
+
+func promLabels(labels []string, extra ...string) string {
+	all := append(append([]string(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(all); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", all[i], all[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counters := make([]*counterEntry, 0, len(r.counters))
+	for _, e := range r.counters {
+		counters = append(counters, e)
+	}
+	hists := make([]*histEntry, 0, len(r.hists))
+	for _, e := range r.hists {
+		hists = append(hists, e)
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(counters, func(i, j int) bool {
+		if counters[i].name != counters[j].name {
+			return counters[i].name < counters[j].name
+		}
+		return strings.Join(counters[i].labels, ",") < strings.Join(counters[j].labels, ",")
+	})
+	sort.Slice(hists, func(i, j int) bool {
+		if hists[i].name != hists[j].name {
+			return hists[i].name < hists[j].name
+		}
+		return strings.Join(hists[i].labels, ",") < strings.Join(hists[j].labels, ",")
+	})
+
+	typed := map[string]bool{}
+	for _, e := range counters {
+		if !typed[e.name] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", e.name); err != nil {
+				return err
+			}
+			typed[e.name] = true
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", e.name, promLabels(e.labels), e.c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, e := range hists {
+		if !typed[e.name] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", e.name); err != nil {
+				return err
+			}
+			typed[e.name] = true
+		}
+		cum := uint64(0)
+		for i, b := range e.h.bounds {
+			cum += e.h.counts[i].Load()
+			le := fmt.Sprintf("%g", b)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, promLabels(e.labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		cum += e.h.counts[len(e.h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, promLabels(e.labels, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", e.name, promLabels(e.labels), e.h.Sum()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", e.name, promLabels(e.labels), e.h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry: Prometheus text by default, JSON when the
+// request asks for it (?format=json or an Accept header naming
+// application/json).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndLookup(t *testing.T) {
+	r := New()
+	c := r.Counter("requests_total", "endpoint", "/api/plan", "status", "200")
+	c.Inc()
+	c.Add(2)
+	if got := r.CounterValue("requests_total", "endpoint", "/api/plan", "status", "200"); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	// Same name+labels resolves to the same counter.
+	if r.Counter("requests_total", "endpoint", "/api/plan", "status", "200") != c {
+		t.Error("counter identity lost across lookups")
+	}
+	// Different labels are distinct series.
+	if r.CounterValue("requests_total", "endpoint", "/api/plan", "status", "503") != 0 {
+		t.Error("label sets not distinguished")
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := New()
+	h := r.Histogram("latency_seconds", []float64{0.1, 1, 10})
+	for _, x := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(x)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 56.05; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(snap.Histograms))
+	}
+	// Cumulative: <=0.1 → 1, <=1 → 3, <=10 → 4, +Inf → 5.
+	want := []uint64{1, 3, 4, 5}
+	for i, w := range want {
+		if snap.Histograms[0].Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Histograms[0].Buckets[i], w)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := New()
+	r.Counter("requests_total", "endpoint", "/healthz", "status", "200").Inc()
+	r.Histogram("latency_seconds", []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		`requests_total{endpoint="/healthz",status="200"} 1`,
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="1"} 1`,
+		`latency_seconds_bucket{le="+Inf"} 1`,
+		"latency_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerServesBothFormats(t *testing.T) {
+	r := New()
+	r.Counter("requests_total").Inc()
+	h := Handler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("default content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "requests_total 1") {
+		t.Errorf("prometheus body: %s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 1 {
+		t.Errorf("json snapshot = %+v", snap)
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	// Run with -race in CI: concurrent Inc/Observe on shared handles and
+	// concurrent first-use registration must be safe.
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("requests_total", "endpoint", "/api/plan").Inc()
+				r.Histogram("latency_seconds", DefaultLatencyBuckets).Observe(float64(i) / 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.CounterValue("requests_total", "endpoint", "/api/plan"); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	snap := r.Snapshot()
+	if snap.Histograms[0].Count != 4000 {
+		t.Fatalf("hist count = %d", snap.Histograms[0].Count)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/routeplanning/mamorl/internal/grid"
@@ -472,6 +473,16 @@ func (m *Mission) Result() Result {
 // Run executes a full mission under the planner and returns its result.
 // If the planner is a Learner, it observes every transition.
 func Run(sc Scenario, p Planner, opts RunOptions) (Result, error) {
+	return RunContext(context.Background(), sc, p, opts)
+}
+
+// RunContext is Run with cooperative cancellation: the step loop checks ctx
+// between epochs, so a long mission (a random walk holds |V|×150 epochs)
+// aborts promptly when the context is cancelled or its deadline expires. The
+// returned error wraps ctx.Err(), so callers can errors.Is it against
+// context.Canceled / context.DeadlineExceeded; the partial Result up to the
+// aborted epoch is returned alongside it.
+func RunContext(ctx context.Context, sc Scenario, p Planner, opts RunOptions) (Result, error) {
 	m, err := NewMission(sc, opts)
 	if err != nil {
 		return Result{}, err
@@ -479,6 +490,9 @@ func Run(sc Scenario, p Planner, opts RunOptions) (Result, error) {
 	learner, _ := p.(Learner)
 	acts := make([]Action, len(sc.Team))
 	for !m.Done() {
+		if err := ctx.Err(); err != nil {
+			return m.Result(), fmt.Errorf("sim: mission aborted at epoch %d: %w", m.Step(), err)
+		}
 		prev := m.CurAll()
 		for i := range acts {
 			acts[i] = p.Decide(m, i)

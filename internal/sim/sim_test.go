@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"github.com/routeplanning/mamorl/internal/geo"
 	"github.com/routeplanning/mamorl/internal/grid"
@@ -505,3 +508,52 @@ func TestWeatherScalesMoves(t *testing.T) {
 type halfSpeed struct{}
 
 func (halfSpeed) SpeedFactor(*grid.Grid, grid.NodeID, grid.NodeID, float64) float64 { return 0.5 }
+
+func TestRunContextCancellation(t *testing.T) {
+	sc := toyScenario(t)
+
+	// An already-cancelled context aborts before the first epoch.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, sc, &scripted{seqs: [][]Action{nil, nil}}, RunOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Found || res.Steps != 0 {
+		t.Errorf("partial result = %+v, want untouched mission", res)
+	}
+
+	// Cancelling mid-mission aborts at the next epoch boundary with the
+	// partial result so far.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	res, err = RunContext(ctx2, sc, &scripted{seqs: [][]Action{nil, nil}}, RunOptions{
+		OnStep: func(m *Mission, _ []Action) {
+			if m.Step() == 2 {
+				cancel2()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-mission err = %v, want context.Canceled", err)
+	}
+	if res.Steps != 2 {
+		t.Errorf("aborted at step %d, want 2", res.Steps)
+	}
+
+	// An expired deadline surfaces as DeadlineExceeded.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	time.Sleep(time.Millisecond)
+	if _, err = RunContext(dctx, sc, &scripted{seqs: [][]Action{nil, nil}}, RunOptions{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// The Background wrapper still runs missions to completion.
+	g := sc.Grid
+	p := &scripted{seqs: [][]Action{nil, {toward(g, 9, 8), toward(g, 8, 7)}}}
+	res, err = Run(sc, p, RunOptions{})
+	if err != nil || !res.Found {
+		t.Fatalf("Run after ctx plumbing: res=%+v err=%v", res, err)
+	}
+}

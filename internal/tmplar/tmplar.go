@@ -12,15 +12,21 @@
 package tmplar
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"sort"
 	"sync"
+	"time"
 
 	"github.com/routeplanning/mamorl/internal/approx"
 	"github.com/routeplanning/mamorl/internal/baselines"
 	"github.com/routeplanning/mamorl/internal/geo"
 	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/obs"
 	"github.com/routeplanning/mamorl/internal/partial"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
@@ -28,17 +34,66 @@ import (
 	"github.com/routeplanning/mamorl/internal/weather"
 )
 
+// Default serving limits. They are deliberately generous: a grid JSON for
+// the Atlantic mesh (~14.6k nodes) is a few MB, and a plan request is a few
+// hundred bytes of mission spec.
+const (
+	DefaultPlanTimeout  = 30 * time.Second
+	DefaultMaxGridBytes = 32 << 20 // 32 MB
+	DefaultMaxPlanBytes = 1 << 20  // 1 MB
+)
+
+// Options tunes the serving behavior. The zero value selects the defaults
+// above; a nil Metrics registry gets a private one.
+type Options struct {
+	// PlanTimeout bounds the mission simulation of one planning request.
+	// On expiry the request fails with HTTP 503 and a JSON error. <= 0
+	// selects DefaultPlanTimeout.
+	PlanTimeout time.Duration
+	// MaxGridBytes caps POST /api/grids request bodies (413 beyond it);
+	// MaxPlanBytes caps the plan endpoints. <= 0 selects the defaults.
+	MaxGridBytes int64
+	MaxPlanBytes int64
+	// Logger receives one line per request (method, path, status, latency).
+	// nil disables request logging.
+	Logger *log.Logger
+	// Metrics receives request/plan metrics; exposed at GET /metrics.
+	Metrics *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.PlanTimeout <= 0 {
+		o.PlanTimeout = DefaultPlanTimeout
+	}
+	if o.MaxGridBytes <= 0 {
+		o.MaxGridBytes = DefaultMaxGridBytes
+	}
+	if o.MaxPlanBytes <= 0 {
+		o.MaxPlanBytes = DefaultMaxPlanBytes
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.New()
+	}
+	return o
+}
+
 // Server is the TMPLAR-style planning service.
 type Server struct {
 	mu    sync.RWMutex
 	grids map[string]*grid.Grid
 	model *approx.LinearModel
 	pipe  *approx.Pipeline
+	opts  Options
 }
 
 // NewServer trains the Approx-MaMoRL model (Section 4.2's pipeline) and
-// returns a ready server with no grids registered.
+// returns a ready server with no grids registered and default Options.
 func NewServer(seed int64) (*Server, error) {
+	return NewServerOpts(seed, Options{})
+}
+
+// NewServerOpts is NewServer with explicit serving options.
+func NewServerOpts(seed int64, opts Options) (*Server, error) {
 	pipe, err := approx.NewPipeline(approx.TrainConfig{Seed: seed})
 	if err != nil {
 		return nil, fmt.Errorf("tmplar: training pipeline: %w", err)
@@ -51,14 +106,22 @@ func NewServer(seed int64) (*Server, error) {
 		grids: make(map[string]*grid.Grid),
 		model: model,
 		pipe:  pipe,
+		opts:  opts.withDefaults(),
 	}, nil
 }
+
+// Metrics returns the server's metrics registry (never nil).
+func (s *Server) Metrics() *obs.Registry { return s.opts.Metrics }
+
+// PlanTimeout returns the effective per-request planning deadline.
+func (s *Server) PlanTimeout() time.Duration { return s.opts.PlanTimeout }
 
 // InstallGrid registers a grid under its name, replacing any previous one.
 func (s *Server) InstallGrid(g *grid.Grid) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.grids[g.Name()] = g
+	s.opts.Metrics.Counter("tmplar_grids_installed_total").Inc()
 }
 
 // lookupGrid fetches a registered grid.
@@ -69,7 +132,8 @@ func (s *Server) lookupGrid(name string) (*grid.Grid, bool) {
 	return g, ok
 }
 
-// Handler returns the HTTP routing table.
+// Handler returns the HTTP routing table, wrapped in the serving middleware
+// (panic recovery, request logging, per-endpoint metrics).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -77,7 +141,75 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/grids", s.handleUploadGrid)
 	mux.HandleFunc("POST /api/plan", s.handlePlanGlobal)
 	mux.HandleFunc("POST /api/plan/asset", s.handlePlanLocal)
-	return mux
+	mux.Handle("GET /metrics", obs.Handler(s.opts.Metrics))
+	return s.instrument(recoverPanics(mux))
+}
+
+// --- Middleware --------------------------------------------------------------
+
+// statusRecorder captures the response status for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// recoverPanics converts a handler panic into a 500 JSON error instead of a
+// torn-down connection. The broken-pipe sentinel http.ErrAbortHandler keeps
+// its stdlib meaning and is re-raised.
+func recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+					panic(v)
+				}
+				// If the handler already started a response we can only drop
+				// the connection; otherwise answer with a JSON 500.
+				if rec.status == 0 {
+					writeJSON(rec, http.StatusInternalServerError,
+						errorResponse{fmt.Sprintf("internal error: %v", v)})
+				}
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// instrument records request count by endpoint/status, latency, and an
+// optional log line per request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		endpoint := r.URL.Path
+		s.opts.Metrics.Counter("tmplar_http_requests_total",
+			"endpoint", endpoint, "status", fmt.Sprint(rec.status)).Inc()
+		s.opts.Metrics.Histogram("tmplar_http_request_seconds",
+			obs.DefaultLatencyBuckets, "endpoint", endpoint).Observe(elapsed.Seconds())
+		if s.opts.Logger != nil {
+			s.opts.Logger.Printf("%s %s -> %d (%v)", r.Method, endpoint, rec.status, elapsed)
+		}
+	})
 }
 
 // --- Wire types --------------------------------------------------------------
@@ -116,6 +248,10 @@ type PlanRequest struct {
 	Rendezvous bool  `json:"rendezvous,omitempty"`
 	Seed       int64 `json:"seed"`
 	MaxSteps   int   `json:"max_steps"`
+	// DeadlineMS optionally tightens this request's planning deadline, in
+	// milliseconds. It can only lower the server's configured PlanTimeout,
+	// never raise it; 0 uses the server default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // WeatherSpec is the wire form of an environmental field: an optional gyre
@@ -247,13 +383,28 @@ func (s *Server) handleListGrids(w http.ResponseWriter, _ *http.Request) {
 		})
 	}
 	s.mu.RUnlock()
+	// Map iteration order is randomized; clients (and tests) get a stable,
+	// name-sorted listing.
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	writeJSON(w, http.StatusOK, infos)
 }
 
+// tooLarge reports whether err came from http.MaxBytesReader tripping.
+func tooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
 func (s *Server) handleUploadGrid(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxGridBytes)
 	g, err := grid.Decode(r.Body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		status := http.StatusBadRequest
+		if tooLarge(err) {
+			status = http.StatusRequestEntityTooLarge
+			err = fmt.Errorf("grid upload exceeds %d bytes", s.opts.MaxGridBytes)
+		}
+		writeJSON(w, status, errorResponse{err.Error()})
 		return
 	}
 	if g.Name() == "" {
@@ -268,26 +419,31 @@ func (s *Server) handleUploadGrid(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePlanGlobal(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxPlanBytes)
 	var req PlanRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
+		status := http.StatusBadRequest
+		if tooLarge(err) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorResponse{"invalid JSON: " + err.Error()})
 		return
 	}
-	resp, status, err := s.plan(req)
-	if err != nil {
-		writeJSON(w, status, errorResponse{err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.servePlan(w, r, req)
 }
 
 func (s *Server) handlePlanLocal(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxPlanBytes)
 	var req LocalPlanRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
+		status := http.StatusBadRequest
+		if tooLarge(err) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorResponse{"invalid JSON: " + err.Error()})
 		return
 	}
-	resp, status, err := s.plan(PlanRequest{
+	s.servePlan(w, r, PlanRequest{
 		Grid:        req.Grid,
 		Assets:      []AssetSpec{req.Asset},
 		Destination: req.Destination,
@@ -296,15 +452,64 @@ func (s *Server) handlePlanLocal(w http.ResponseWriter, r *http.Request) {
 		Seed:        req.Seed,
 		MaxSteps:    req.MaxSteps,
 	})
+}
+
+// deadlineFor resolves the effective planning deadline of one request: the
+// server's PlanTimeout, optionally tightened (never loosened) by the
+// request's deadline_ms.
+func (s *Server) deadlineFor(req PlanRequest) time.Duration {
+	d := s.opts.PlanTimeout
+	if req.DeadlineMS > 0 {
+		if rd := time.Duration(req.DeadlineMS) * time.Millisecond; rd < d {
+			d = rd
+		}
+	}
+	return d
+}
+
+// servePlan runs a plan under the request deadline and writes the outcome,
+// recording plan metrics either way. A deadline expiry answers 503 (the
+// service is alive; this request's mission was too heavy for its budget),
+// and a client disconnect answers 499-style with the straight 503 body —
+// the connection is gone anyway.
+func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, req PlanRequest) {
+	deadline := s.deadlineFor(req)
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	start := time.Now()
+	resp, status, err := s.plan(ctx, req)
+	elapsed := time.Since(start)
+
+	m := s.opts.Metrics
+	m.Histogram("tmplar_plan_seconds", obs.DefaultLatencyBuckets,
+		"endpoint", r.URL.Path).Observe(elapsed.Seconds())
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			m.Counter("tmplar_plan_deadline_exceeded_total").Inc()
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+				fmt.Sprintf("planning exceeded the %v deadline: %v", deadline, err)})
+			return
+		}
+		m.Counter("tmplar_plan_errors_total", "status", fmt.Sprint(status)).Inc()
 		writeJSON(w, status, errorResponse{err.Error()})
 		return
 	}
+	m.Counter("tmplar_plan_completed_total", "algorithm", algoLabel(req.Algorithm)).Inc()
+	m.Counter("tmplar_plan_steps_total").Add(uint64(resp.Steps))
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// plan executes a mission for a request.
-func (s *Server) plan(req PlanRequest) (*PlanResponse, int, error) {
+// algoLabel normalizes the algorithm metric label ("" means the default).
+func algoLabel(algo string) string {
+	if algo == "" {
+		return "approx"
+	}
+	return algo
+}
+
+// plan executes a mission for a request, aborting when ctx expires.
+func (s *Server) plan(ctx context.Context, req PlanRequest) (*PlanResponse, int, error) {
 	g, ok := s.lookupGrid(req.Grid)
 	if !ok {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown grid %q", req.Grid)
@@ -402,8 +607,11 @@ func (s *Server) plan(req PlanRequest) (*PlanResponse, int, error) {
 			routes[i].Fuel += leg.Fuel
 		}
 	}
-	res, err := sim.Run(sc, planner, sim.RunOptions{Collision: collision, OnStep: record})
+	res, err := sim.RunContext(ctx, sc, planner, sim.RunOptions{Collision: collision, OnStep: record})
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, http.StatusServiceUnavailable, err
+		}
 		return nil, http.StatusInternalServerError, err
 	}
 	return &PlanResponse{

@@ -9,8 +9,10 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/obs"
 )
 
 // sharedServer is built once per test binary (model training dominates).
@@ -465,5 +467,263 @@ func TestPlanWithWeatherAndRendezvous(t *testing.T) {
 	}
 	if gathered.Steps < calm.Steps {
 		t.Errorf("rendezvous steps %d < discovery-only %d", gathered.Steps, calm.Steps)
+	}
+}
+
+// derivedServer shares the expensively-trained model/pipeline of the shared
+// server but gets its own grids map, metrics registry, and Options, so limit
+// and deadline tests neither retrain nor interfere with other tests.
+func derivedServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	base := server(t)
+	s := &Server{
+		grids: make(map[string]*grid.Grid),
+		model: base.model,
+		pipe:  base.pipe,
+		opts:  opts.withDefaults(),
+	}
+	g, ok := base.lookupGrid("ops-area")
+	if !ok {
+		t.Fatal("ops-area missing from shared server")
+	}
+	s.InstallGrid(g)
+	return s
+}
+
+func opsPlanRequest() PlanRequest {
+	return PlanRequest{
+		Grid: "ops-area",
+		Assets: []AssetSpec{
+			{Source: 0, SensingRadius: 10, MaxSpeed: 3},
+			{Source: 75, SensingRadius: 10, MaxSpeed: 3},
+		},
+		Destination: 140,
+		Seed:        5,
+	}
+}
+
+func TestPlanDeadlineExceededReturns503(t *testing.T) {
+	s := derivedServer(t, Options{PlanTimeout: time.Nanosecond})
+	start := time.Now()
+	rec := do(t, s.Handler(), "POST", "/api/plan", opsPlanRequest())
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline expiry took %v; want prompt abort", elapsed)
+	}
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code = %d, want 503 (%s)", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("503 body is not well-formed JSON: %v (%s)", err, rec.Body.String())
+	}
+	if !strings.Contains(e.Error, "deadline") {
+		t.Errorf("error %q does not mention the deadline", e.Error)
+	}
+	if got := s.Metrics().CounterValue("tmplar_plan_deadline_exceeded_total"); got != 1 {
+		t.Errorf("tmplar_plan_deadline_exceeded_total = %d, want 1", got)
+	}
+}
+
+func TestPlanDeadlineSufficientIsDeterministic(t *testing.T) {
+	// The same request under a generous deadline must succeed and produce
+	// the identical route on every attempt: the deadline machinery may not
+	// perturb planning.
+	s := derivedServer(t, Options{PlanTimeout: DefaultPlanTimeout})
+	h := s.Handler()
+	req := opsPlanRequest()
+	var bodies []string
+	for i := 0; i < 2; i++ {
+		rec := do(t, h, "POST", "/api/plan", req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("attempt %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+		var resp PlanResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !resp.Found {
+			t.Fatalf("attempt %d: mission failed", i)
+		}
+		routes, _ := json.Marshal(resp.Routes)
+		bodies = append(bodies, string(routes))
+	}
+	if bodies[0] != bodies[1] {
+		t.Errorf("same request, different routes:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+}
+
+func TestPlanRequestDeadlineMSOnlyTightens(t *testing.T) {
+	s := derivedServer(t, Options{PlanTimeout: 10 * time.Second})
+	req := opsPlanRequest()
+	req.DeadlineMS = 1 // 1ms: tightens the 10s server budget
+	if d := s.deadlineFor(req); d != time.Millisecond {
+		t.Errorf("deadlineFor = %v, want 1ms", d)
+	}
+	req.DeadlineMS = (time.Hour / time.Millisecond).Nanoseconds() // loosening is ignored
+	if d := s.deadlineFor(req); d != 10*time.Second {
+		t.Errorf("deadlineFor = %v, want the 10s server cap", d)
+	}
+}
+
+func TestUploadGridTooLarge(t *testing.T) {
+	s := derivedServer(t, Options{MaxGridBytes: 64})
+	g, err := grid.GenerateSynthetic(grid.SyntheticConfig{
+		Name: "huge", Nodes: 30, Edges: 60, MaxOutDegree: 6, Seed: 2,
+	})
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := grid.Encode(&buf, g); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	rec := do(t, s.Handler(), "POST", "/api/grids", buf.String())
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload: code %d, want 413 (%s)", rec.Code, rec.Body.String())
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("413 body is not JSON: %v", err)
+	}
+	if _, ok := s.lookupGrid("huge"); ok {
+		t.Error("oversized grid was registered anyway")
+	}
+}
+
+func TestPlanBodyTooLarge(t *testing.T) {
+	s := derivedServer(t, Options{MaxPlanBytes: 32})
+	body, _ := json.Marshal(opsPlanRequest())
+	for _, path := range []string{"/api/plan", "/api/plan/asset"} {
+		rec := do(t, s.Handler(), "POST", path, string(body))
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: code %d, want 413 (%s)", path, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestListGridsSortedByName(t *testing.T) {
+	s := derivedServer(t, Options{})
+	for _, name := range []string{"zulu", "alpha", "mike"} {
+		g, err := grid.GenerateSynthetic(grid.SyntheticConfig{
+			Name: name, Nodes: 30, Edges: 60, MaxOutDegree: 6, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("grid: %v", err)
+		}
+		s.InstallGrid(g)
+	}
+	h := s.Handler()
+	for attempt := 0; attempt < 5; attempt++ {
+		rec := do(t, h, "GET", "/api/grids", nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("list: %d", rec.Code)
+		}
+		var infos []gridInfo
+		if err := json.Unmarshal(rec.Body.Bytes(), &infos); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		for i := 1; i < len(infos); i++ {
+			if infos[i-1].Name > infos[i].Name {
+				t.Fatalf("listing is not sorted: %q before %q", infos[i-1].Name, infos[i].Name)
+			}
+		}
+	}
+}
+
+func TestMetricsEndpointReflectsOutcomes(t *testing.T) {
+	// One deadline expiry plus one success must both be visible at
+	// GET /metrics, in the Prometheus text and the JSON renderings. Two
+	// servers share the registry: the tight one's nanosecond budget expires
+	// deterministically, the other serves the success.
+	reg := obs.New()
+	tight := derivedServer(t, Options{PlanTimeout: time.Nanosecond, Metrics: reg})
+	s := derivedServer(t, Options{Metrics: reg})
+	h := s.Handler()
+
+	if rec := do(t, tight.Handler(), "POST", "/api/plan", opsPlanRequest()); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("tight deadline: %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/api/plan", opsPlanRequest()); rec.Code != http.StatusOK {
+		t.Fatalf("plan: %d", rec.Code)
+	}
+
+	m := s.Metrics()
+	if got := m.CounterValue("tmplar_plan_deadline_exceeded_total"); got != 1 {
+		t.Errorf("deadline_exceeded = %d, want 1", got)
+	}
+	if got := m.CounterValue("tmplar_plan_completed_total", "algorithm", "approx"); got != 1 {
+		t.Errorf("completed{approx} = %d, want 1", got)
+	}
+	if got := m.CounterValue("tmplar_http_requests_total", "endpoint", "/api/plan", "status", "503"); got != 1 {
+		t.Errorf("http_requests{/api/plan,503} = %d, want 1", got)
+	}
+	if got := m.CounterValue("tmplar_http_requests_total", "endpoint", "/api/plan", "status", "200"); got != 1 {
+		t.Errorf("http_requests{/api/plan,200} = %d, want 1", got)
+	}
+
+	rec := do(t, h, "GET", "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE tmplar_plan_deadline_exceeded_total counter",
+		`tmplar_plan_completed_total{algorithm="approx"} 1`,
+		"tmplar_plan_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+
+	rec = do(t, h, "GET", "/metrics?format=json", nil)
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("json metrics Content-Type = %q", ct)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string            `json:"name"`
+			Value uint64            `json:"value"`
+			Label map[string]string `json:"labels"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v (%s)", err, rec.Body.String())
+	}
+	seen := false
+	for _, c := range snap.Counters {
+		if c.Name == "tmplar_plan_deadline_exceeded_total" && c.Value == 1 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Errorf("JSON snapshot missing tmplar_plan_deadline_exceeded_total=1: %s", rec.Body.String())
+	}
+}
+
+func TestPanicRecoveryAnswers500(t *testing.T) {
+	// A panicking handler must be converted into a JSON 500 and counted,
+	// not crash the server.
+	s := derivedServer(t, Options{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	h := s.instrument(recoverPanics(mux))
+	rec := do(t, h, "GET", "/boom", nil)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panic: code %d, want 500", rec.Code)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("500 body is not JSON: %v (%s)", err, rec.Body.String())
+	}
+	if got := s.Metrics().CounterValue("tmplar_http_requests_total", "endpoint", "/boom", "status", "500"); got != 1 {
+		t.Errorf("http_requests{/boom,500} = %d, want 1", got)
 	}
 }

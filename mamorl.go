@@ -31,6 +31,7 @@
 package mamorl
 
 import (
+	"context"
 	"errors"
 	"io"
 
@@ -42,6 +43,7 @@ import (
 	"github.com/routeplanning/mamorl/internal/graphalg"
 	"github.com/routeplanning/mamorl/internal/grid"
 	"github.com/routeplanning/mamorl/internal/neural"
+	"github.com/routeplanning/mamorl/internal/obs"
 	"github.com/routeplanning/mamorl/internal/partial"
 	"github.com/routeplanning/mamorl/internal/render"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
@@ -168,6 +170,13 @@ func FarthestNode(g *Grid, sources []NodeID) NodeID { return approx.FarthestNode
 
 // Run executes a mission under a planner.
 func Run(sc Scenario, p Planner, opts RunOptions) (Result, error) { return sim.Run(sc, p, opts) }
+
+// RunContext is Run with cancellation: the mission aborts between epochs
+// when ctx is cancelled or its deadline passes, returning the partial
+// Result alongside a wrapped ctx.Err().
+func RunContext(ctx context.Context, sc Scenario, p Planner, opts RunOptions) (Result, error) {
+	return sim.RunContext(ctx, sc, p, opts)
+}
 
 // DefaultWeights returns the paper's scalarization: exploration first, time
 // and fuel sharing the remainder.
@@ -348,9 +357,24 @@ type (
 // TMPLARServer is the JSON-over-HTTP planning service of Section 4.7.
 type TMPLARServer = tmplar.Server
 
-// NewTMPLARServer trains the deployable model and returns the service.
-// Register grids with InstallGrid, then serve Handler().
+// TMPLAROptions tunes the serving behavior: per-request planning deadline,
+// request body limits, request logging, and the metrics registry.
+type TMPLAROptions = tmplar.Options
+
+// MetricsRegistry is the stdlib-only metrics registry backing GET /metrics.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
+
+// NewTMPLARServer trains the deployable model and returns the service with
+// default options. Register grids with InstallGrid, then serve Handler().
 func NewTMPLARServer(seed int64) (*TMPLARServer, error) { return tmplar.NewServer(seed) }
+
+// NewTMPLARServerOpts is NewTMPLARServer with explicit serving options.
+func NewTMPLARServerOpts(seed int64, opts TMPLAROptions) (*TMPLARServer, error) {
+	return tmplar.NewServerOpts(seed, opts)
+}
 
 // --- Custom planner support -----------------------------------------------------
 

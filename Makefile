@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_OUT ?= BENCH_2.json
 
-.PHONY: build vet test race check bench
+.PHONY: build vet test race race-exec check bench
 
 build:
 	$(GO) build ./...
@@ -14,8 +15,15 @@ test:
 race:
 	$(GO) test -race ./internal/... .
 
+# race-exec focuses the detector on the parallel experiment executor and the
+# simulator it fans out over (the packages with real concurrency).
+race-exec:
+	$(GO) test -race ./internal/experiments/... ./internal/sim/...
+
 # check is what CI runs (.github/workflows/ci.yml).
 check: build vet test race
 
+# bench runs the full suite and writes a machine-readable report (ns/op,
+# B/op, allocs/op and every custom metric) to $(BENCH_OUT).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)

@@ -1,0 +1,117 @@
+// Allocation regression tests for the planner hot path. The deployed
+// Approx-MaMoRL planner makes one Decide call per asset per epoch; before the
+// scratch-buffer rework it allocated ~36 objects per call (blocked map, alpha
+// map, features slice, legal-action slice, sensing result). These tests pin
+// the reworked numbers so a future change cannot quietly reintroduce per-call
+// garbage.
+package mamorl_test
+
+import (
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/approx"
+	"github.com/routeplanning/mamorl/internal/experiments"
+	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/sim"
+)
+
+// harnessT is the *testing.T twin of harness, sharing the once-trained
+// sample source with the benchmarks.
+func harnessT(t *testing.T) *experiments.Harness {
+	t.Helper()
+	benchOnce.Do(func() {
+		benchH, benchHarnErr = experiments.NewHarness(approx.TrainConfig{Seed: 1})
+	})
+	if benchHarnErr != nil {
+		t.Fatalf("harness: %v", benchHarnErr)
+	}
+	return benchH
+}
+
+func allocFixture(t *testing.T) (*sim.Mission, *approx.Planner, int) {
+	t.Helper()
+	h := harnessT(t)
+	g, err := grid.GenerateSynthetic(grid.SyntheticConfig{Nodes: 400, Edges: 846, MaxOutDegree: 9, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := approx.TrainingScenario(g, 4, 5, 1.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := approx.NewPlanner(h.Linear, h.Pipe.Extractor, 1)
+	m, err := sim.NewMission(sc, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, pl, len(sc.Team)
+}
+
+// TestDecideAllocs: a warmed planner must average at most ~2 allocations per
+// Decide call (the sensing query's exact-size result copy is the only
+// remaining steady-state allocation; the frontier fallback path may add a
+// handful on rare calls).
+func TestDecideAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool bypass its cache, inflating the count")
+	}
+	m, pl, n := allocFixture(t)
+	for i := 0; i < 64; i++ { // warm scratch buffers across all assets
+		_ = pl.Decide(m, i%n)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(256, func() {
+		_ = pl.Decide(m, i%n)
+		i++
+	})
+	if avg > 2.5 {
+		t.Fatalf("Decide allocates %.2f objects/call on average, want <= 2.5 (was ~36 before the scratch rework)", avg)
+	}
+}
+
+// TestAppendLegalActionsForAllocs: the append variant with a warmed reusable
+// buffer must not allocate at all.
+func TestAppendLegalActionsForAllocs(t *testing.T) {
+	m, _, n := allocFixture(t)
+	buf := make([]sim.Action, 0, 64)
+	i := 0
+	avg := testing.AllocsPerRun(256, func() {
+		buf = m.AppendLegalActionsFor(buf[:0], i%n)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("AppendLegalActionsFor allocates %.2f objects/call, want 0", avg)
+	}
+}
+
+// TestSensingQueryAllocs: WithinRadius must allocate only its exact-size
+// result (the traversal scratch is pooled), and the ForEach variant nothing.
+func TestSensingQueryAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool bypass its cache, inflating the count")
+	}
+	g, err := grid.CaribbeanGrid(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := 1.5 * g.AvgEdgeWeight()
+	n := g.NumNodes()
+
+	i := 0
+	avg := testing.AllocsPerRun(256, func() {
+		_ = g.WithinRadius(grid.NodeID(i%n), r)
+		i++
+	})
+	if avg > 1 {
+		t.Fatalf("WithinRadius allocates %.2f objects/call, want <= 1 (result slice only)", avg)
+	}
+
+	i = 0
+	avg = testing.AllocsPerRun(256, func() {
+		g.ForEachWithinRadius(grid.NodeID(i%n), r, func(grid.NodeID) {})
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("ForEachWithinRadius allocates %.2f objects/call, want 0", avg)
+	}
+}

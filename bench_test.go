@@ -12,6 +12,7 @@ package mamorl_test
 import (
 	"context"
 	"flag"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -28,6 +29,19 @@ import (
 )
 
 var paperScale = flag.Bool("paperscale", false, "run benches at the paper's full 10-run protocol")
+
+// benchParallel is the run budget handed to the experiment drivers that
+// report objective metrics only (Table 6, Figure 4/8, ablation). The sweep
+// benches (Figure 5/6/7) stay serial: their CPU-timing columns are only
+// meaningful without contention.
+var benchParallel = flag.Int("benchparallel", 0, "Params.Parallel for the objective-metric benches; 0 = GOMAXPROCS")
+
+func parallelism() int {
+	if *benchParallel > 0 {
+		return *benchParallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // benchHarness is shared across benchmarks (training the sample source once).
 var (
@@ -121,11 +135,24 @@ func BenchmarkTable5NNTraining(b *testing.B) {
 // algorithms on the four scenario blocks, including the exact solver where
 // the memory budget admits it.
 func BenchmarkTable6Comparison(b *testing.B) {
+	benchTable6(b, parallelism())
+}
+
+// BenchmarkTable6ComparisonSerial is the same workload with the executor
+// budget pinned to 1; the ns/op ratio against BenchmarkTable6Comparison is
+// the parallel speedup (the cells and PerRun outcomes are byte-identical
+// either way — see internal/experiments/executor_test.go).
+func BenchmarkTable6ComparisonSerial(b *testing.B) {
+	benchTable6(b, 1)
+}
+
+func benchTable6(b *testing.B, parallel int) {
 	h := harness(b)
 	p := experiments.DefaultParams()
 	if !*paperScale {
 		p = p.Quick()
 	}
+	p.Parallel = parallel
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := h.RunTable6(context.Background(), p)
@@ -172,6 +199,7 @@ func BenchmarkFigure3FunctionApprox(b *testing.B) {
 func BenchmarkFigure4Pareto(b *testing.B) {
 	h := harness(b)
 	p := benchParams()
+	p.Parallel = parallelism()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := h.RunFigure4(context.Background(), p)
@@ -258,7 +286,7 @@ func BenchmarkFigure8Transfer(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFigure8(context.Background(), carib, partner, experiments.Figure8Options{Runs: runs, Seed: int64(i)})
+		r, err := experiments.RunFigure8(context.Background(), carib, partner, experiments.Figure8Options{Runs: runs, Seed: int64(i), Parallel: parallelism()})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -380,6 +408,7 @@ func BenchmarkAblation(b *testing.B) {
 	h := harness(b)
 	p := benchParams()
 	p.Assets = 6
+	p.Parallel = parallelism()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		results, err := h.RunAblation(context.Background(), p)

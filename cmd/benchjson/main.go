@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// machine-readable JSON report. It reads the benchmark stream on stdin,
+// echoes it unchanged to stdout (so it can sit at the end of a pipe without
+// hiding progress), and writes the parsed report to the -o file.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem | benchjson -o BENCH.json
+//
+// Each "BenchmarkName-P  N  v1 unit1  v2 unit2 ..." line becomes one entry
+// with every reported metric keyed by its unit (ns/op, B/op, allocs/op and
+// any b.ReportMetric custom units).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole run.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON file (required)")
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("benchjson: -o file is required")
+	}
+
+	var rep Report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Package = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: read: %v", err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatalf("benchjson: write: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parseLine parses "BenchmarkFoo-8   123   45.6 ns/op   7 B/op ...".
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Metrics: map[string]float64{}}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	b.Name = strings.TrimPrefix(b.Name, "Benchmark")
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -20,6 +20,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -37,8 +39,36 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base random seed")
 		nnEpochs   = flag.Int("nn-epochs", 300, "NN-Approx training epochs; pass 10000 for the full Table 5 budget (slow)")
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs of each experiment into this directory")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "max concurrent mission runs across experiment cells; 1 disables parallelism")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -81,6 +111,7 @@ func main() {
 	if quick {
 		base = base.Quick()
 	}
+	base.Parallel = *parallel
 
 	if run("table2") {
 		printTable2()
@@ -225,7 +256,7 @@ func main() {
 		if quick {
 			runs = 3
 		}
-		r, err := experiments.RunFigure8(ctx, carib, naShore, experiments.Figure8Options{Runs: runs, Seed: *seed})
+		r, err := experiments.RunFigure8(ctx, carib, naShore, experiments.Figure8Options{Runs: runs, Seed: *seed, Parallel: *parallel})
 		if err != nil {
 			fail("figure 8", err)
 		}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -48,6 +49,7 @@ func main() {
 		maxPlan     = flag.Int64("max-plan-bytes", 1<<20, "plan request body limit in bytes (413 beyond)")
 		quiet       = flag.Bool("quiet", false, "disable per-request logging")
 		drain       = flag.Duration("drain", 35*time.Second, "graceful-shutdown drain budget")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); disabled when empty")
 	)
 	flag.Parse()
 
@@ -96,6 +98,23 @@ func main() {
 		WriteTimeout:      srv.PlanTimeout() + 15*time.Second,
 		IdleTimeout:       2 * time.Minute,
 		ErrorLog:          logger,
+	}
+
+	// The profiling endpoints live on their own listener (normally bound to
+	// localhost) so they are never reachable through the public API address.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -46,6 +46,21 @@ type Planner struct {
 	nav        *sim.Navigator
 	opts       Options
 	seed       int64
+
+	// Per-decision scratch, reused across Decide calls so the steady-state
+	// planning path allocates nothing. A planner serves one mission at a
+	// time from one goroutine (experiments give every run its own planner;
+	// the service builds one per request), and clone() resets the scratch,
+	// so reuse is safe.
+	blocked   grid.NodeSet
+	blockedFn func(grid.NodeID) bool // cached p.blocked.Has method value
+	ballSeen  grid.NodeSet
+	ballCur   []grid.NodeID
+	ballNext  []grid.NodeID
+	lmCtx     features.NodeContext
+	tmmCtx    features.NodeContext
+	actBuf    []sim.Action
+	featBuf   []float64
 }
 
 // stallPatience is how many epochs without sensing progress a planner
@@ -80,7 +95,7 @@ func NewPlanner(model Model, ext features.Extractor, seed int64) *Planner {
 // NewPlannerOpts builds a planner with mechanisms selectively disabled;
 // see Options. Used by the ablation study.
 func NewPlannerOpts(model Model, ext features.Extractor, seed int64, opts Options) *Planner {
-	return &Planner{
+	p := &Planner{
 		opts:       opts,
 		model:      model,
 		ext:        ext,
@@ -93,13 +108,15 @@ func NewPlannerOpts(model Model, ext features.Extractor, seed int64, opts Option
 		nav:        sim.NewNavigator(),
 		seed:       seed,
 	}
+	p.blockedFn = p.blocked.Has
+	return p
 }
 
 // clone returns a copy sharing the model and extractor but owning fresh
-// per-mission state: watchdog maps, navigator, and a derived rng. A naive
-// struct copy would share those (maps and pointers alias), so running the
-// original and a copy would corrupt each other's watchdog and jitter
-// sequence.
+// per-mission state: watchdog maps, navigator, scratch buffers, and a
+// derived rng. A naive struct copy would share those (maps, pointers, and
+// slice-backed scratch alias), so running the original and a copy would
+// corrupt each other's watchdog, jitter sequence, and blocked sets.
 func (p *Planner) clone() *Planner {
 	cp := *p
 	cp.prevPos = make(map[int]grid.NodeID)
@@ -108,6 +125,13 @@ func (p *Planner) clone() *Planner {
 	cp.nav = sim.NewNavigator()
 	cp.seed = p.seed + 1
 	cp.rng = rand.New(rand.NewSource(cp.seed))
+	cp.blocked = grid.NodeSet{}
+	cp.ballSeen = grid.NodeSet{}
+	cp.ballCur, cp.ballNext = nil, nil
+	cp.lmCtx = features.NodeContext{}
+	cp.tmmCtx = features.NodeContext{}
+	cp.actBuf, cp.featBuf = nil, nil
+	cp.blockedFn = cp.blocked.Has
 	return &cp
 }
 
@@ -162,24 +186,25 @@ func (p *Planner) Decide(m *sim.Mission, i int) sim.Action {
 		}
 	}
 	dest := features.ResolveDest(m, i, p.hint)
-	blocked := p.predictTeammateNodes(m, i, dest)
+	p.predictTeammateNodes(m, i, dest)
 
 	bestAct := sim.Wait
 	bestV := math.Inf(-1)
 	anyAlpha := false
-	ctx := p.ext.LMContext(m, i, dest)
-	for _, a := range m.LegalActionsFor(i) {
+	ctx := p.ext.LMContextInto(&p.lmCtx, m, i, dest)
+	p.actBuf = m.AppendLegalActionsFor(p.actBuf[:0], i)
+	for _, a := range p.actBuf {
 		if !a.IsWait() {
 			to, _ := m.Apply(m.Cur(i), a)
-			if blocked[to] {
+			if p.blocked.Has(to) {
 				continue
 			}
 		}
-		f := ctx.Features(a)
-		if f[2] > 0 {
+		p.featBuf = ctx.AppendFeatures(p.featBuf[:0], a)
+		if p.featBuf[2] > 0 {
 			anyAlpha = true
 		}
-		v := p.model.PredictLM(f) + 1e-9*p.rng.Float64()
+		v := p.model.PredictLM(p.featBuf) + 1e-9*p.rng.Float64()
 		if v > bestV {
 			bestV = v
 			bestAct = a
@@ -199,36 +224,36 @@ func (p *Planner) Decide(m *sim.Mission, i int) sim.Action {
 	// the model after a single frontier hop.
 	stalled := !p.opts.NoWatchdog && p.stall[i] >= stallPatience
 	if !p.opts.NoFrontier && (!anyAlpha || bestAct.IsWait() || stalled) {
-		if a, ok := p.frontierAction(m, i, blocked); ok {
+		if a, ok := p.frontierAction(m, i); ok {
 			return a
 		}
 	}
 	return bestAct
 }
 
-// predictTeammateNodes returns the set of nodes asset i must avoid: each
-// teammate's believed location plus the target of its TMM-predicted action
-// ("the action a_j with the highest P̂", Section 3.3.1). Additionally,
-// lower-ID teammates have right of way: asset i avoids every node such a
-// teammate could occupy after this epoch. An asset traverses one edge per
-// epoch, so a teammate last seen s epochs ago is within s hops of its
-// believed node and within s+1 after the upcoming simultaneous move; the
-// whole hop-ball is blocked. This breaks the symmetric-policy herding that
-// otherwise drives identically-modeled assets onto one node between
-// communications. (Absolute collision freedom is unattainable under
-// intermittent communication — a lower-ID asset can still step onto a
-// silent waiter — but residual collisions are rare; the experiment suite
-// tracks the rate against Baseline-2's near-100%.)
-func (p *Planner) predictTeammateNodes(m *sim.Mission, i int, dest features.DestArg) map[grid.NodeID]bool {
-	blocked := make(map[grid.NodeID]bool)
+// predictTeammateNodes fills p.blocked with the set of nodes asset i must
+// avoid: each teammate's believed location plus the target of its
+// TMM-predicted action ("the action a_j with the highest P̂", Section
+// 3.3.1). Additionally, lower-ID teammates have right of way: asset i
+// avoids every node such a teammate could occupy after this epoch. An asset
+// traverses one edge per epoch, so a teammate last seen s epochs ago is
+// within s hops of its believed node and within s+1 after the upcoming
+// simultaneous move; the whole hop-ball is blocked. This breaks the
+// symmetric-policy herding that otherwise drives identically-modeled assets
+// onto one node between communications. (Absolute collision freedom is
+// unattainable under intermittent communication — a lower-ID asset can
+// still step onto a silent waiter — but residual collisions are rare; the
+// experiment suite tracks the rate against Baseline-2's near-100%.)
+func (p *Planner) predictTeammateNodes(m *sim.Mission, i int, dest features.DestArg) {
 	sc := m.Scenario()
 	g := m.Grid()
+	p.blocked.Reset(g.NumNodes())
 	for j := range sc.Team {
 		if j == i {
 			continue
 		}
 		vj := m.Knowledge(i).LastKnown[j]
-		blocked[vj] = true
+		p.blocked.Add(vj)
 		stale := m.Step() - m.Knowledge(i).LastKnownStep[j]
 		if stale < 0 {
 			stale = 0
@@ -242,7 +267,7 @@ func (p *Planner) predictTeammateNodes(m *sim.Mission, i int, dest features.Dest
 			continue
 		}
 		if j < i && !p.opts.NoRightOfWay {
-			blockHopBall(g, vj, stale+1, blocked)
+			p.blockHopBall(g, vj, stale+1)
 			continue
 		}
 		if p.opts.NoTMMBlocking {
@@ -250,51 +275,58 @@ func (p *Planner) predictTeammateNodes(m *sim.Mission, i int, dest features.Dest
 		}
 		bestP := math.Inf(-1)
 		bestTo := vj
-		ctx := p.ext.TMMContext(m, i, j, dest)
-		for _, a := range sim.LegalActions(m.Grid(), vj, sc.Team[j].MaxSpeed) {
-			pv := p.model.PredictTMM(ctx.Features(a))
+		ctx := p.ext.TMMContextInto(&p.tmmCtx, m, i, j, dest)
+		p.actBuf = sim.AppendLegalActions(p.actBuf[:0], g, vj, sc.Team[j].MaxSpeed)
+		for _, a := range p.actBuf {
+			p.featBuf = ctx.AppendFeatures(p.featBuf[:0], a)
+			pv := p.model.PredictTMM(p.featBuf)
 			if pv > bestP {
 				bestP = pv
 				if a.IsWait() {
 					bestTo = vj
 				} else {
-					bestTo = m.Grid().Neighbors(vj)[a.Neighbor].To
+					bestTo = g.Neighbors(vj)[a.Neighbor].To
 				}
 			}
 		}
-		blocked[bestTo] = true
+		p.blocked.Add(bestTo)
 	}
-	return blocked
 }
 
-// blockHopBall marks every node within radius hops of v as blocked.
-func blockHopBall(g *grid.Grid, v grid.NodeID, radius int, blocked map[grid.NodeID]bool) {
-	frontier := []grid.NodeID{v}
-	seen := map[grid.NodeID]bool{v: true}
+// blockHopBall adds every node within radius hops of v to p.blocked, using
+// the planner's BFS scratch.
+func (p *Planner) blockHopBall(g *grid.Grid, v grid.NodeID, radius int) {
+	p.ballSeen.Reset(g.NumNodes())
+	p.ballSeen.Add(v)
+	p.ballCur = append(p.ballCur[:0], v)
 	for hop := 0; hop < radius; hop++ {
-		var next []grid.NodeID
-		for _, u := range frontier {
+		p.ballNext = p.ballNext[:0]
+		for _, u := range p.ballCur {
 			for _, e := range g.Neighbors(u) {
-				if !seen[e.To] {
-					seen[e.To] = true
-					blocked[e.To] = true
-					next = append(next, e.To)
+				if !p.ballSeen.Has(e.To) {
+					p.ballSeen.Add(e.To)
+					p.blocked.Add(e.To)
+					p.ballNext = append(p.ballNext, e.To)
 				}
 			}
 		}
-		frontier = next
+		p.ballCur, p.ballNext = p.ballNext, p.ballCur
+		if len(p.ballCur) == 0 {
+			break
+		}
 	}
 }
 
 // frontierAction walks asset i toward the nearest unsensed node,
-// Voronoi-partitioned against believed teammate positions (sim.FrontierStep).
-func (p *Planner) frontierAction(m *sim.Mission, i int, blocked map[grid.NodeID]bool) (sim.Action, bool) {
-	return sim.FrontierStep(m, i, blocked, p.ext.Mask, p.prevPos[i], p.rng, !p.opts.NoVoronoi)
+// Voronoi-partitioned against believed teammate positions
+// (sim.FrontierStep), avoiding the nodes collected in p.blocked.
+func (p *Planner) frontierAction(m *sim.Mission, i int) (sim.Action, bool) {
+	return sim.FrontierStep(m, i, p.blockedFn, p.ext.Mask, p.prevPos[i], p.rng, !p.opts.NoVoronoi)
 }
 
 // FrontierStep is re-exported from sim for planner implementations built on
 // this package (the baselines use it).
-func FrontierStep(m *sim.Mission, i int, blocked map[grid.NodeID]bool, mask func(grid.NodeID) bool,
+func FrontierStep(m *sim.Mission, i int, blocked func(grid.NodeID) bool, mask func(grid.NodeID) bool,
 	prev grid.NodeID, rng *rand.Rand, voronoi bool) (sim.Action, bool) {
 	return sim.FrontierStep(m, i, blocked, mask, prev, rng, voronoi)
 }

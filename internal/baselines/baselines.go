@@ -27,10 +27,10 @@ import (
 	"github.com/routeplanning/mamorl/internal/sim"
 )
 
-// greedyExplore is the shared Section 3.1.1 rule. blocked nodes are never
-// entered; voronoi controls whether the frontier search coordinates with
-// believed teammate positions.
-func greedyExplore(m *sim.Mission, i int, blocked map[grid.NodeID]bool,
+// greedyExplore is the shared Section 3.1.1 rule. blocked is a predicate
+// for nodes never to enter (nil blocks nothing); voronoi controls whether
+// the frontier search coordinates with believed teammate positions.
+func greedyExplore(m *sim.Mission, i int, blocked func(grid.NodeID) bool,
 	prev grid.NodeID, rng *rand.Rand, voronoi bool) sim.Action {
 
 	g := m.Grid()
@@ -40,7 +40,7 @@ func greedyExplore(m *sim.Mission, i int, blocked map[grid.NodeID]bool,
 	bestN := -1
 	bestScore := 0.0
 	for n, e := range g.Neighbors(cur) {
-		if blocked[e.To] || m.Obstacle(e.To) {
+		if (blocked != nil && blocked(e.To)) || m.Obstacle(e.To) {
 			continue
 		}
 		newly := m.PredictNewlySensed(i, e.To)
@@ -70,6 +70,11 @@ type RoundRobin struct {
 	rng     *rand.Rand
 	prevPos map[int]grid.NodeID
 	nav     *sim.Navigator
+	// blocked is per-decision scratch (teammate positions); blockedFn is
+	// its cached Has method value, so Decide allocates no set and no
+	// closure per call.
+	blocked   grid.NodeSet
+	blockedFn func(grid.NodeID) bool
 }
 
 // NewRoundRobin builds Baseline-1 with the given scalarization weights
@@ -79,12 +84,14 @@ func NewRoundRobin(weights rewardfn.Weights, seed int64) *RoundRobin {
 	if weights == (rewardfn.Weights{}) {
 		weights = rewardfn.DefaultWeights()
 	}
-	return &RoundRobin{
+	b := &RoundRobin{
 		weights: weights.Normalized(),
 		rng:     rand.New(rand.NewSource(seed)),
 		prevPos: make(map[int]grid.NodeID),
 		nav:     sim.NewNavigator(),
 	}
+	b.blockedFn = b.blocked.Has
+	return b
 }
 
 // Name implements sim.Planner.
@@ -108,13 +115,13 @@ func (b *RoundRobin) Decide(m *sim.Mission, i int) sim.Action {
 	// mover knows true current positions (everyone else is parked at
 	// theirs) — this is what makes the baseline collision-free at the cost
 	// of serializing all movement.
-	blocked := make(map[grid.NodeID]bool)
+	b.blocked.Reset(m.Grid().NumNodes())
 	for j := 0; j < m.NumAssets(); j++ {
 		if j != i {
-			blocked[m.Cur(j)] = true
+			b.blocked.Add(m.Cur(j))
 		}
 	}
-	return greedyExplore(m, i, blocked, b.prevPos[i], b.rng, true)
+	return greedyExplore(m, i, b.blockedFn, b.prevPos[i], b.rng, true)
 }
 
 // Independent is Baseline-2: per-asset greedy reward maximization with no
@@ -152,7 +159,7 @@ func (b *Independent) Decide(m *sim.Mission, i int) sim.Action {
 			return a
 		}
 	}
-	return greedyExplore(m, i, map[grid.NodeID]bool{}, b.prevPos[i], b.rng, false)
+	return greedyExplore(m, i, nil, b.prevPos[i], b.rng, false)
 }
 
 // RandomWalk draws the action and speed uniformly at random (Section

@@ -289,7 +289,7 @@ func (pl *Planner) Decide(m *sim.Mission, i int) sim.Action {
 	// resets only on sensing progress, so frontier mode persists until the
 	// asset actually senses something new.
 	if !pl.training && (!anySensed || pl.stall[i] >= stallPatience) {
-		if a, ok := sim.FrontierStep(m, i, blocked, pl.mask, pl.prevPos[i], pl.rng, true); ok {
+		if a, ok := sim.FrontierStep(m, i, func(v grid.NodeID) bool { return blocked[v] }, pl.mask, pl.prevPos[i], pl.rng, true); ok {
 			pl.prevPos[i] = m.Cur(i)
 			return a
 		}

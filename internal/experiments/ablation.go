@@ -50,39 +50,66 @@ type AblationResult struct {
 // same instances for every variant, so differences are attributable to the
 // mechanism).
 func (h *Harness) RunAblation(ctx context.Context, p Params) ([]AblationResult, error) {
-	var out []AblationResult
-	for _, v := range AblationVariants() {
-		res := AblationResult{Variant: v.Name, Runs: p.Runs}
-		var tSum, fSum float64
-		var cpu time.Duration
-		for run := 0; run < p.Runs; run++ {
+	variants := AblationVariants()
+	lim := limiterFor(p)
+	type varOut struct {
+		res AblationResult
+		err error
+	}
+	results := fanIndexed(lim, len(variants), func(k int) varOut {
+		v := variants[k]
+		type runOut struct {
+			r   sim.Result
+			cpu time.Duration
+			err error
+		}
+		outs := runIndexed(lim, p.Runs, func(run int) runOut {
+			if err := ctx.Err(); err != nil {
+				return runOut{err: err}
+			}
 			sc, err := scenarioFor(p, run)
 			if err != nil {
-				return nil, err
+				return runOut{err: err}
 			}
 			pl := approx.NewPlannerOpts(h.Linear, h.Pipe.Extractor, p.Seed+int64(run)*31, v.Opts)
 			start := time.Now()
 			r, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
 			if err != nil {
-				return nil, fmt.Errorf("ablation %s run %d: %w", v.Name, run, err)
+				return runOut{err: fmt.Errorf("ablation %s run %d: %w", v.Name, run, err)}
 			}
-			cpu += time.Since(start)
-			if r.Found {
+			return runOut{r: r, cpu: time.Since(start)}
+		})
+		res := AblationResult{Variant: v.Name, Runs: p.Runs}
+		var tSum, fSum float64
+		var cpu time.Duration
+		for _, o := range outs {
+			if o.err != nil {
+				return varOut{err: o.err}
+			}
+			cpu += o.cpu
+			if o.r.Found {
 				res.FoundRuns++
-				tSum += r.TTotal
-				fSum += r.FTotal
+				tSum += o.r.TTotal
+				fSum += o.r.FTotal
 			}
-			if r.Collisions > 0 {
+			if o.r.Collisions > 0 {
 				res.CollidedRuns++
 			}
-			res.Collisions += r.Collisions
+			res.Collisions += o.r.Collisions
 		}
 		if res.FoundRuns > 0 {
 			res.MeanT = tSum / float64(res.FoundRuns)
 			res.MeanF = fSum / float64(res.FoundRuns)
 		}
 		res.CPUPerRun = cpu / time.Duration(maxInt(1, p.Runs))
-		out = append(out, res)
+		return varOut{res: res}
+	})
+	out := make([]AblationResult, 0, len(results))
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.res)
 	}
 	return out, nil
 }

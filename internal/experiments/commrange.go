@@ -27,23 +27,35 @@ func (h *Harness) RunCommRange(ctx context.Context, p Params, factors []float64)
 	if len(factors) == 0 {
 		factors = []float64{0, 8, 4, 2}
 	}
-	var out []CommRangePoint
-	for _, factor := range factors {
+	lim := limiterFor(p)
+	type ptOut struct {
+		pt  CommRangePoint
+		err error
+	}
+	pts := fanIndexed(lim, len(factors), func(k int) ptOut {
+		factor := factors[k]
 		pv := p
 		if factor > 0 {
 			// Resolve the factor against a representative grid of this
 			// shape (all runs share the shape, only seeds differ).
 			sc, err := scenarioFor(pv, 0)
 			if err != nil {
-				return nil, err
+				return ptOut{err: err}
 			}
 			pv.CommRange = factor * sc.Grid.AvgEdgeWeight()
 		}
-		rs, err := h.Evaluate(ctx, AlgoApprox, pv)
+		rs, err := h.evaluateWith(ctx, AlgoApprox, pv, lim)
 		if err != nil {
-			return nil, fmt.Errorf("comm range %v: %w", factor, err)
+			return ptOut{err: fmt.Errorf("comm range %v: %w", factor, err)}
 		}
-		out = append(out, CommRangePoint{RangeFactor: factor, Subject: rs})
+		return ptOut{pt: CommRangePoint{RangeFactor: factor, Subject: rs}}
+	})
+	out := make([]CommRangePoint, 0, len(pts))
+	for _, po := range pts {
+		if po.err != nil {
+			return nil, po.err
+		}
+		out = append(out, po.pt)
 	}
 	return out, nil
 }

@@ -239,7 +239,7 @@ func TestRunSweepsPartialKnowledgeQuick(t *testing.T) {
 	p := smallParams()
 	// One sweep value is enough to exercise the PK path through sweeps.
 	p.Runs = 2
-	pt, err := h.sweepPoint(context.Background(), AlgoApproxPK, p, p.Nodes)
+	pt, err := h.sweepPoint(context.Background(), AlgoApproxPK, p, p.Nodes, limiterFor(p))
 	if err != nil {
 		t.Fatalf("sweepPoint PK: %v", err)
 	}

@@ -29,7 +29,11 @@ type Figure3Result struct {
 
 // RunFigure3 fits both models on the harness's samples (Section 4.2) and
 // evaluates them on the given parameter setting. nnOpts controls the SGD
-// budget; the zero value selects Table 5's batch 1000 / 10000 epochs.
+// budget; the zero value selects Table 5's batch 1000 / 10000 epochs. seed
+// seeds the neural fit; both evaluations use the shared Evaluate machinery,
+// so their PerRun records are seed-paired run for run (an earlier
+// hand-rolled loop used a different seed schedule and recorded objective
+// values even for runs that never found the destination).
 func (h *Harness) RunFigure3(ctx context.Context, p Params, nnOpts neural.TrainOptions, seed int64) (Figure3Result, error) {
 	out := Figure3Result{LinearTrainTime: h.LinearTrainTime}
 	nnModel, nnDur, err := approx.FitNeural(h.Pipe.Data, nnOpts, seed)
@@ -41,38 +45,19 @@ func (h *Harness) RunFigure3(ctx context.Context, p Params, nnOpts neural.TrainO
 		out.Speedup = float64(nnDur) / float64(h.LinearTrainTime)
 	}
 
-	lin, err := h.Evaluate(ctx, AlgoApprox, p)
+	lim := limiterFor(p)
+	lin, err := h.evaluateWith(ctx, AlgoApprox, p, lim)
 	if err != nil {
 		return out, err
 	}
 	out.Linear = lin
 
-	// Evaluate the NN planner over the same seeded scenarios.
-	nn := RunStats{Algorithm: "NN-Approx-MaMoRL", Runs: p.Runs}
-	for run := 0; run < p.Runs; run++ {
-		sc, err := scenarioFor(p, run)
-		if err != nil {
-			return out, err
-		}
-		start := time.Now()
-		pl := approx.NewPlanner(nnModel, h.Pipe.Extractor, seed+int64(run))
-		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
-		if err != nil {
-			return out, err
-		}
-		nn.CPUTime += time.Since(start)
-		nn.MemoryBytes = float64(pl.MemoryBytes(len(sc.Team)))
-		if res.Found {
-			nn.FoundRuns++
-		}
-		if res.Collisions > 0 {
-			nn.CollidedRuns++
-		}
-		nn.PerRun = append(nn.PerRun, RunValue{
-			Seed: seed + int64(run), Found: res.Found, TTotal: res.TTotal, FTotal: res.FTotal,
-		})
-		nn.TTotal = append(nn.TTotal, res.TTotal)
-		nn.FTotal = append(nn.FTotal, res.FTotal)
+	nn, err := evaluateCustom(ctx, "NN-Approx-MaMoRL", p, lim, func(run int, sc sim.Scenario) (sim.Planner, float64) {
+		pl := approx.NewPlanner(nnModel, h.Pipe.Extractor, runSeed(p, run))
+		return pl, float64(pl.MemoryBytes(len(sc.Team)))
+	})
+	if err != nil {
+		return out, err
 	}
 	out.Neural = nn
 	return out, nil
@@ -113,14 +98,25 @@ func (h *Harness) RunFigure4(ctx context.Context, p Params) (Figure4Result, erro
 		Points:     make(map[string][]stats.Point2),
 		FrontShare: make(map[string]int),
 	}
+	lim := limiterFor(p)
+	type algoOut struct {
+		rs  RunStats
+		err error
+	}
+	results := fanIndexed(lim, len(Figure4Algorithms), func(k int) algoOut {
+		rs, err := h.evaluateWith(ctx, Figure4Algorithms[k], p, lim)
+		return algoOut{rs, err}
+	})
+	// The union is assembled serially in algorithm order, so the front is
+	// identical whatever order the evaluations finished in.
 	var union []stats.Point2
-	for _, algo := range Figure4Algorithms {
-		rs, err := h.Evaluate(ctx, algo, p)
-		if err != nil {
-			return out, err
+	for k, r := range results {
+		if r.err != nil {
+			return out, r.err
 		}
-		for i := range rs.TTotal {
-			pt := stats.Point2{X: rs.FTotal[i], Y: rs.TTotal[i], Tag: algo}
+		algo := Figure4Algorithms[k]
+		for i := range r.rs.TTotal {
+			pt := stats.Point2{X: r.rs.FTotal[i], Y: r.rs.TTotal[i], Tag: algo}
 			out.Points[algo] = append(out.Points[algo], pt)
 			union = append(union, pt)
 		}
@@ -238,10 +234,20 @@ func (h *Harness) RunSweeps(ctx context.Context, subject string, base Params, qu
 	if quick {
 		p = base.Quick()
 	}
+	lim := limiterFor(p)
 	var out []SweepResult
 	for _, spec := range Sweeps(quick) {
+		spec := spec
 		sr := SweepResult{Param: spec.Param}
-		for _, v := range spec.Values {
+		type ptOut struct {
+			pt  SweepPoint
+			err error
+		}
+		// Sweep points are independent cells; fan them out against the
+		// shared budget. (The episodes sweep additionally retrains a
+		// pipeline per point — bounded coordination-level work.)
+		pts := fanIndexed(lim, len(spec.Values), func(k int) ptOut {
+			v := spec.Values[k]
 			pv := spec.Apply(p, v)
 			hv := h
 			if spec.Param == "episodes" {
@@ -255,34 +261,44 @@ func (h *Harness) RunSweeps(ctx context.Context, subject string, base Params, qu
 					Core: core.Config{Episodes: v},
 				})
 				if err != nil {
-					return nil, fmt.Errorf("sweep episodes=%d: harness: %w", v, err)
+					return ptOut{err: fmt.Errorf("sweep episodes=%d: harness: %w", v, err)}
 				}
 			}
-			pt, err := hv.sweepPoint(ctx, subject, pv, v)
+			pt, err := hv.sweepPoint(ctx, subject, pv, v, lim)
 			if err != nil {
-				return nil, fmt.Errorf("sweep %s=%d: %w", spec.Param, v, err)
+				return ptOut{err: fmt.Errorf("sweep %s=%d: %w", spec.Param, v, err)}
 			}
-			sr.Points = append(sr.Points, pt)
+			return ptOut{pt: pt}
+		})
+		for _, po := range pts {
+			if po.err != nil {
+				return nil, po.err
+			}
+			sr.Points = append(sr.Points, po.pt)
 		}
 		out = append(out, sr)
 	}
 	return out, nil
 }
 
-func (h *Harness) sweepPoint(ctx context.Context, subject string, p Params, value int) (SweepPoint, error) {
+func (h *Harness) sweepPoint(ctx context.Context, subject string, p Params, value int, lim limiter) (SweepPoint, error) {
 	pt := SweepPoint{Value: float64(value)}
-	subj, err := h.Evaluate(ctx, subject, p)
-	if err != nil {
-		return pt, err
+	// The three algorithms of one point are themselves independent cells.
+	algos := []string{subject, AlgoBaseline1, AlgoRandomWalk}
+	type algoOut struct {
+		rs  RunStats
+		err error
 	}
-	b1, err := h.Evaluate(ctx, AlgoBaseline1, p)
-	if err != nil {
-		return pt, err
+	results := fanIndexed(lim, len(algos), func(k int) algoOut {
+		rs, err := h.evaluateWith(ctx, algos[k], p, lim)
+		return algoOut{rs, err}
+	})
+	for _, r := range results {
+		if r.err != nil {
+			return pt, r.err
+		}
 	}
-	rw, err := h.Evaluate(ctx, AlgoRandomWalk, p)
-	if err != nil {
-		return pt, err
-	}
+	subj, b1, rw := results[0].rs, results[1].rs, results[2].rs
 	pt.Subject, pt.B1, pt.RW = subj, b1, rw
 	pt.RITimeVsB1 = stats.RelativeImprovement(b1.MeanT(), subj.MeanT())
 	pt.RIFuelVsB1 = stats.RelativeImprovement(b1.MeanF(), subj.MeanF())
@@ -357,6 +373,9 @@ type Figure8Options struct {
 	// EvalAssets, EvalMaxSpeed configure the evaluation missions.
 	EvalAssets   int
 	EvalMaxSpeed int
+	// Parallel caps concurrent evaluation runs across all four transfer
+	// cells (0 or 1 = serial), mirroring Params.Parallel.
+	Parallel int
 }
 
 func (o Figure8Options) withDefaults() Figure8Options {
@@ -387,53 +406,87 @@ func RunFigure8(ctx context.Context, carib, naShore *grid.Grid, opts Figure8Opti
 		name string
 		g    *grid.Grid
 	}{{"caribbean", carib}, {"north-america-shore", naShore}}
+	lim := limiterFor(Params{Parallel: opts.Parallel})
 
-	models := make(map[string]*Harness)
-	for _, basin := range basins {
+	// Train one pipeline per basin; the two trainings are independent
+	// coordination-level cells.
+	type modelOut struct {
+		h   *Harness
+		err error
+	}
+	trainings := fanIndexed(lim, len(basins), func(b int) modelOut {
+		basin := basins[b]
 		start := basin.g.NearestNode(basin.g.Bounds().Center())
 		region := grid.Neighborhood(basin.g, start, opts.TrainRegionSize)
 		sub, err := grid.Subgraph(basin.g, region, basin.name+"-train")
 		if err != nil {
-			return Figure8Result{}, fmt.Errorf("figure 8: %s training region: %w", basin.name, err)
+			return modelOut{err: fmt.Errorf("figure 8: %s training region: %w", basin.name, err)}
 		}
 		h, err := NewHarness(approx.TrainConfig{Grid: sub, Seed: opts.Seed, MaxSpeed: opts.EvalMaxSpeed})
 		if err != nil {
-			return Figure8Result{}, fmt.Errorf("figure 8: %s pipeline: %w", basin.name, err)
+			return modelOut{err: fmt.Errorf("figure 8: %s pipeline: %w", basin.name, err)}
 		}
-		models[basin.name] = h
+		return modelOut{h: h}
+	})
+	models := make(map[string]*Harness)
+	for b, t := range trainings {
+		if t.err != nil {
+			return Figure8Result{}, t.err
+		}
+		models[basins[b].name] = t.h
 	}
 
-	var out Figure8Result
-	for _, trained := range basins {
-		for _, eval := range basins {
-			h := models[trained.name]
-			rs := RunStats{Algorithm: AlgoApprox, Runs: opts.Runs}
-			for run := 0; run < opts.Runs; run++ {
-				sc, err := missionOnGrid(eval.g, opts, run)
-				if err != nil {
-					return out, err
-				}
-				pl := approx.NewPlanner(h.Linear, h.Pipe.Extractor, opts.Seed+int64(run))
-				start := time.Now()
-				res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
-				if err != nil {
-					return out, err
-				}
-				rs.CPUTime += time.Since(start)
-				if res.Found {
-					rs.FoundRuns++
-				}
-				rs.PerRun = append(rs.PerRun, RunValue{
-					Seed: opts.Seed + int64(run), Found: res.Found,
-					TTotal: res.TTotal, FTotal: res.FTotal,
-				})
-				rs.TTotal = append(rs.TTotal, res.TTotal)
-				rs.FTotal = append(rs.FTotal, res.FTotal)
-			}
-			out.Cells = append(out.Cells, TransferCell{
-				TrainedOn: trained.name, EvaluatedOn: eval.name, Stats: rs,
-			})
+	// The four train×eval cells fan out, each running its seeded missions
+	// through the leaf-level budget at fixed run indices.
+	type cellOut struct {
+		cell TransferCell
+		err  error
+	}
+	cells := fanIndexed(lim, len(basins)*len(basins), func(c int) cellOut {
+		trained, eval := basins[c/len(basins)], basins[c%len(basins)]
+		h := models[trained.name]
+		type f8Out struct {
+			res sim.Result
+			cpu time.Duration
+			err error
 		}
+		outs := runIndexed(lim, opts.Runs, func(run int) f8Out {
+			if err := ctx.Err(); err != nil {
+				return f8Out{err: err}
+			}
+			sc, err := missionOnGrid(eval.g, opts, run)
+			if err != nil {
+				return f8Out{err: err}
+			}
+			pl := approx.NewPlanner(h.Linear, h.Pipe.Extractor, opts.Seed+int64(run))
+			start := time.Now()
+			res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
+			return f8Out{res: res, cpu: time.Since(start), err: err}
+		})
+		rs := RunStats{Algorithm: AlgoApprox, Runs: opts.Runs}
+		for run, o := range outs {
+			if o.err != nil {
+				return cellOut{err: o.err}
+			}
+			rs.CPUTime += o.cpu
+			if o.res.Found {
+				rs.FoundRuns++
+			}
+			rs.PerRun = append(rs.PerRun, RunValue{
+				Seed: opts.Seed + int64(run), Found: o.res.Found,
+				TTotal: o.res.TTotal, FTotal: o.res.FTotal,
+			})
+			rs.TTotal = append(rs.TTotal, o.res.TTotal)
+			rs.FTotal = append(rs.FTotal, o.res.FTotal)
+		}
+		return cellOut{cell: TransferCell{TrainedOn: trained.name, EvaluatedOn: eval.name, Stats: rs}}
+	})
+	var out Figure8Result
+	for _, c := range cells {
+		if c.err != nil {
+			return out, c.err
+		}
+		out.Cells = append(out.Cells, c.cell)
 	}
 	return out, nil
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"github.com/routeplanning/mamorl/internal/approx"
@@ -129,10 +128,15 @@ func runSeed(p Params, run int) int64 { return p.Seed + int64(run)*104729 }
 // missions (and aborts in-flight missions between epochs) and returns
 // ctx's error.
 func (h *Harness) Evaluate(ctx context.Context, algo string, p Params) (RunStats, error) {
-	rs := RunStats{Algorithm: algo, Runs: p.Runs}
-	outcomes := make([]runOutcome, p.Runs)
+	return h.evaluateWith(ctx, algo, p, limiterFor(p))
+}
 
-	execute := func(run int) runOutcome {
+// evaluateWith is Evaluate against a caller-owned run budget, so that a
+// driver fanning out many cells (Table 6, the sweeps, Figure 8) shares one
+// limiter across all of their inner run loops instead of multiplying
+// p.Parallel by the cell count.
+func (h *Harness) evaluateWith(ctx context.Context, algo string, p Params, lim limiter) (RunStats, error) {
+	outcomes := runIndexed(lim, p.Runs, func(run int) runOutcome {
 		if err := ctx.Err(); err != nil {
 			return runOutcome{err: err}
 		}
@@ -149,27 +153,38 @@ func (h *Harness) Evaluate(ctx context.Context, algo string, p Params) (RunStats
 			}
 		}
 		return runOutcome{res: res, cpu: cpu, mem: mem, err: err}
-	}
+	})
+	return collectStats(algo, p, outcomes)
+}
 
-	if p.Parallel > 1 {
-		sem := make(chan struct{}, p.Parallel)
-		var wg sync.WaitGroup
-		for run := 0; run < p.Runs; run++ {
-			wg.Add(1)
-			go func(run int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				outcomes[run] = execute(run)
-			}(run)
-		}
-		wg.Wait()
-	} else {
-		for run := 0; run < p.Runs; run++ {
-			outcomes[run] = execute(run)
-		}
-	}
+// evaluateCustom runs an ad-hoc planner (one not named in AllAlgorithms)
+// over the same seeded scenarios, run loop, and aggregation as Evaluate, so
+// custom comparisons (Figure 3's neural model) stay seed-paired with the
+// named algorithms instead of hand-rolling a drifting copy of the loop.
+// mk constructs the run's planner and reports its memory footprint.
+func evaluateCustom(ctx context.Context, name string, p Params, lim limiter,
+	mk func(run int, sc sim.Scenario) (sim.Planner, float64)) (RunStats, error) {
 
+	outcomes := runIndexed(lim, p.Runs, func(run int) runOutcome {
+		if err := ctx.Err(); err != nil {
+			return runOutcome{err: err}
+		}
+		sc, err := scenarioFor(p, run)
+		if err != nil {
+			return runOutcome{err: err}
+		}
+		start := time.Now()
+		pl, mem := mk(run, sc)
+		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
+		return runOutcome{res: res, cpu: time.Since(start), mem: mem, err: err}
+	})
+	return collectStats(name, p, outcomes)
+}
+
+// collectStats folds per-run outcomes (in run order, whatever order they
+// completed in) into RunStats.
+func collectStats(algo string, p Params, outcomes []runOutcome) (RunStats, error) {
+	rs := RunStats{Algorithm: algo, Runs: p.Runs}
 	rs.PerRun = make([]RunValue, p.Runs)
 	for run, out := range outcomes {
 		rs.PerRun[run] = RunValue{Seed: runSeed(p, run)}

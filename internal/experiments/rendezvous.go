@@ -25,41 +25,55 @@ type RendezvousRow struct {
 // enabled.
 func (h *Harness) RunRendezvous(ctx context.Context, p Params) ([]RendezvousRow, error) {
 	algos := []string{AlgoApprox, AlgoApproxPK, AlgoBaseline1, AlgoBaseline2}
-	var out []RendezvousRow
-	for _, algo := range algos {
+	lim := limiterFor(p)
+	type rowOut struct {
+		row RendezvousRow
+		err error
+	}
+	rows := fanIndexed(lim, len(algos), func(k int) rowOut {
+		algo := algos[k]
 		row := RendezvousRow{Algorithm: algo}
-		var fracSum float64
-		var fracN int
-		rs := RunStats{Algorithm: algo, Runs: p.Runs, PerRun: make([]RunValue, p.Runs)}
-		for run := 0; run < p.Runs; run++ {
-			rs.PerRun[run] = RunValue{Seed: runSeed(p, run)}
+		outs := runIndexed(lim, p.Runs, func(run int) runOutcome {
+			if err := ctx.Err(); err != nil {
+				return runOutcome{err: err}
+			}
 			sc, err := scenarioFor(p, run)
 			if err != nil {
-				return nil, err
+				return runOutcome{err: err}
 			}
 			sc.Rendezvous = true
 			res, cpu, mem, err := h.runOne(ctx, algo, sc, p, run)
 			if err != nil {
-				return nil, fmt.Errorf("rendezvous %s run %d: %w", algo, run, err)
+				return runOutcome{err: fmt.Errorf("rendezvous %s run %d: %w", algo, run, err)}
 			}
-			rs.CPUTime += cpu
-			rs.MemoryBytes = mem
-			if res.Aborted {
+			return runOutcome{res: res, cpu: cpu, mem: mem}
+		})
+		var fracSum float64
+		var fracN int
+		rs := RunStats{Algorithm: algo, Runs: p.Runs, PerRun: make([]RunValue, p.Runs)}
+		for run, o := range outs {
+			rs.PerRun[run] = RunValue{Seed: runSeed(p, run)}
+			if o.err != nil {
+				return rowOut{err: o.err}
+			}
+			rs.CPUTime += o.cpu
+			rs.MemoryBytes = o.mem
+			if o.res.Aborted {
 				rs.AbortedRuns++
 				rs.CollidedRuns++
 				continue
 			}
-			if res.Collisions > 0 {
+			if o.res.Collisions > 0 {
 				rs.CollidedRuns++
 			}
-			if res.Found && res.Steps > 0 {
+			if o.res.Found && o.res.Steps > 0 {
 				rs.FoundRuns++
 				rs.PerRun[run].Found = true
-				rs.PerRun[run].TTotal = res.TTotal
-				rs.PerRun[run].FTotal = res.FTotal
-				rs.TTotal = append(rs.TTotal, res.TTotal)
-				rs.FTotal = append(rs.FTotal, res.FTotal)
-				fracSum += float64(res.DiscoverySteps) / float64(res.Steps)
+				rs.PerRun[run].TTotal = o.res.TTotal
+				rs.PerRun[run].FTotal = o.res.FTotal
+				rs.TTotal = append(rs.TTotal, o.res.TTotal)
+				rs.FTotal = append(rs.FTotal, o.res.FTotal)
+				fracSum += float64(o.res.DiscoverySteps) / float64(o.res.Steps)
 				fracN++
 			}
 		}
@@ -71,7 +85,14 @@ func (h *Harness) RunRendezvous(ctx context.Context, p Params) ([]RendezvousRow,
 		if fracN > 0 {
 			row.MeanDiscoveryFrac = fracSum / float64(fracN)
 		}
-		out = append(out, row)
+		return rowOut{row: row}
+	})
+	out := make([]RendezvousRow, 0, len(rows))
+	for _, r := range rows {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.row)
 	}
 	return out, nil
 }

@@ -40,17 +40,35 @@ type Table6Row struct {
 	Stats     RunStats
 }
 
-// RunTable6 evaluates every algorithm on every Table 6 scenario.
+// RunTable6 evaluates every algorithm on every Table 6 scenario. All
+// scenario×algorithm cells are independent, so with base.Parallel > 1 they
+// fan out concurrently, sharing one run budget with the per-cell run loops.
 func (h *Harness) RunTable6(ctx context.Context, base Params) ([]Table6Row, error) {
-	var rows []Table6Row
-	for _, sc := range Table6Scenarios(base) {
-		for _, algo := range AllAlgorithms {
-			rs, err := h.Evaluate(ctx, algo, sc.Params)
-			if err != nil {
-				return nil, fmt.Errorf("table 6, %s / %s: %w", sc.Label, algo, err)
-			}
-			rows = append(rows, Table6Row{Scenario: sc.Label, Algorithm: algo, Stats: rs})
+	return h.runTable6(ctx, Table6Scenarios(base), limiterFor(base))
+}
+
+// runTable6 is RunTable6 over an explicit scenario list and budget (tests
+// use reduced scenario sets).
+func (h *Harness) runTable6(ctx context.Context, scenarios []Table6Scenario, lim limiter) ([]Table6Row, error) {
+	type cellOut struct {
+		row Table6Row
+		err error
+	}
+	nAlgos := len(AllAlgorithms)
+	cells := fanIndexed(lim, len(scenarios)*nAlgos, func(c int) cellOut {
+		sc, algo := scenarios[c/nAlgos], AllAlgorithms[c%nAlgos]
+		rs, err := h.evaluateWith(ctx, algo, sc.Params, lim)
+		if err != nil {
+			return cellOut{err: fmt.Errorf("table 6, %s / %s: %w", sc.Label, algo, err)}
 		}
+		return cellOut{row: Table6Row{Scenario: sc.Label, Algorithm: algo, Stats: rs}}
+	})
+	rows := make([]Table6Row, 0, len(cells))
+	for _, c := range cells {
+		if c.err != nil {
+			return nil, c.err
+		}
+		rows = append(rows, c.row)
 	}
 	return rows, nil
 }

@@ -75,6 +75,11 @@ func (e Extractor) LM(m *sim.Mission, i int, a sim.Action, dest DestArg) []float
 // (planners do this every epoch for every asset and anticipated teammate)
 // costs one BFS and one radius query per *target node* instead of per
 // (target, speed) pair.
+//
+// A NodeContext is reusable: planners keep one per decision loop and
+// re-prime it with LMContextInto/TMMContextInto, so the steady-state
+// planning path performs no per-epoch allocation (its α cache and hop
+// scratch persist across reuse).
 type NodeContext struct {
 	e      Extractor
 	m      *sim.Mission
@@ -84,29 +89,46 @@ type NodeContext struct {
 	lm     bool
 	degree float64
 	theta  float64
-	alpha  map[grid.NodeID]float64
+	// α cache, keyed by target node. Targets are out-neighbors of v (at
+	// most D_max of them), so a linear scan over parallel slices beats a
+	// map and reuses its backing arrays across re-priming.
+	alphaTo  []grid.NodeID
+	alphaVal []float64
+	hops     graphalg.HopSearcher
 }
 
 // TMMContext prepares feature extraction for teammate j's actions at its
 // last-known node, from asset i's view.
 func (e Extractor) TMMContext(m *sim.Mission, i, j int, dest DestArg) *NodeContext {
-	return e.newContext(m, i, j, m.Knowledge(i).LastKnown[j], dest, false)
+	return e.TMMContextInto(new(NodeContext), m, i, j, dest)
+}
+
+// LMContextInto is LMContext priming a caller-owned context, reusing its
+// scratch storage.
+func (e Extractor) LMContextInto(c *NodeContext, m *sim.Mission, i int, dest DestArg) *NodeContext {
+	return e.primeContext(c, m, i, i, m.Cur(i), dest, true)
+}
+
+// TMMContextInto is TMMContext priming a caller-owned context, reusing its
+// scratch storage.
+func (e Extractor) TMMContextInto(c *NodeContext, m *sim.Mission, i, j int, dest DestArg) *NodeContext {
+	return e.primeContext(c, m, i, j, m.Knowledge(i).LastKnown[j], dest, false)
 }
 
 // LMContext prepares feature extraction for asset i's own actions at its
 // current node.
 func (e Extractor) LMContext(m *sim.Mission, i int, dest DestArg) *NodeContext {
-	return e.newContext(m, i, i, m.Cur(i), dest, true)
+	return e.LMContextInto(new(NodeContext), m, i, dest)
 }
 
-func (e Extractor) newContext(m *sim.Mission, i, j int, v grid.NodeID, dest DestArg, lm bool) *NodeContext {
+func (e Extractor) primeContext(c *NodeContext, m *sim.Mission, i, j int, v grid.NodeID, dest DestArg, lm bool) *NodeContext {
 	g := m.Grid()
 	sc := m.Scenario()
-	c := &NodeContext{
-		e: e, m: m, i: i, j: j, v: v, dest: dest, lm: lm,
-		degree: float64(g.OutDegree(v)) / float64(g.MaxOutDegree()),
-		alpha:  make(map[grid.NodeID]float64, g.OutDegree(v)),
-	}
+	c.e, c.m, c.i, c.j, c.v, c.dest, c.lm = e, m, i, j, v, dest, lm
+	c.degree = float64(g.OutDegree(v)) / float64(g.MaxOutDegree())
+	c.theta = 0
+	c.alphaTo = c.alphaTo[:0]
+	c.alphaVal = c.alphaVal[:0]
 	// θ(v, s): another asset within m hops of v (believed locations).
 	for k := range sc.Team {
 		if k == j {
@@ -116,7 +138,7 @@ func (e Extractor) newContext(m *sim.Mission, i, j int, v grid.NodeID, dest Dest
 		if k == i {
 			other = m.Cur(i)
 		}
-		if graphalg.WithinHops(g, v, other, e.HopsM) {
+		if c.hops.WithinHops(g, v, other, e.HopsM) {
 			c.theta = 1
 			break
 		}
@@ -128,37 +150,48 @@ func (e Extractor) newContext(m *sim.Mission, i, j int, v grid.NodeID, dest Dest
 // fraction of newly sensed nodes there, judged against asset i's sensed
 // knowledge, normalized by D_max.
 func (c *NodeContext) alphaAt(to grid.NodeID) float64 {
-	if a, ok := c.alpha[to]; ok {
-		return a
+	for idx, v := range c.alphaTo {
+		if v == to {
+			return c.alphaVal[idx]
+		}
 	}
 	g := c.m.Grid()
 	newly := 0
 	sensed := c.m.Knowledge(c.i).Sensed
+	mask := c.e.Mask
 	g.ForEachWithinRadius(to, c.m.Scenario().Team[c.j].SensingRadius, func(u grid.NodeID) {
 		if sensed[u] {
 			return
 		}
-		if c.e.Mask != nil && !c.e.Mask(u) {
+		if mask != nil && !mask(u) {
 			return
 		}
 		newly++
 	})
 	a := float64(newly) / float64(g.MaxOutDegree())
-	c.alpha[to] = a
+	c.alphaTo = append(c.alphaTo, to)
+	c.alphaVal = append(c.alphaVal, a)
 	return a
 }
 
 // Features computes the vector for one action: Equation 9's five features,
-// plus the collision-speed feature for LM contexts (Equation 11).
+// plus the collision-speed feature for LM contexts (Equation 11). It
+// allocates the result; hot paths use AppendFeatures with a reused buffer.
 func (c *NodeContext) Features(a sim.Action) []float64 {
-	g := c.m.Grid()
-	sc := c.m.Scenario()
 	dim := TMMDim
 	if c.lm {
 		dim = LMDim
 	}
-	out := make([]float64, 0, dim)
-	out = append(out, c.degree, c.theta)
+	return c.AppendFeatures(make([]float64, 0, dim), a)
+}
+
+// AppendFeatures appends the feature vector for one action to buf and
+// returns the extended slice. Passing buf[:0] of a planner-owned buffer
+// makes per-action extraction allocation-free.
+func (c *NodeContext) AppendFeatures(buf []float64, a sim.Action) []float64 {
+	g := c.m.Grid()
+	sc := c.m.Scenario()
+	out := append(buf, c.degree, c.theta)
 
 	// Resolve the action target.
 	to := c.v

@@ -1,0 +1,167 @@
+package graphalg
+
+import (
+	"math"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/grid"
+)
+
+func mustSynthetic(t *testing.T, seed int64) *grid.Grid {
+	t.Helper()
+	g, err := grid.GenerateSynthetic(grid.SyntheticConfig{
+		Nodes: 40, Edges: 85, MaxOutDegree: 6, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return g
+}
+
+// TestReverseTreeAgainstFloydWarshall: Dist[v] of a reverse tree toward
+// target must equal the forward v→target distance for every v.
+func TestReverseTreeAgainstFloydWarshall(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := mustSynthetic(t, seed)
+		oracle := floydWarshall(g)
+		for target := 0; target < g.NumNodes(); target += 7 {
+			tree := ReverseTreeAvoiding(g, grid.NodeID(target), nil)
+			for v := 0; v < g.NumNodes(); v++ {
+				want := oracle[v][target]
+				got := tree.Dist[v]
+				if math.IsInf(want, 1) != !tree.Reaches(grid.NodeID(v)) {
+					t.Fatalf("seed %d target %d: reachability of %d disagrees", seed, target, v)
+				}
+				if !math.IsInf(want, 1) && math.Abs(got-want) > 1e-9 {
+					t.Fatalf("seed %d: Dist[%d→%d] = %v, oracle %v", seed, v, target, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReverseTreeNextWalksShortestPath: following Next from any node must
+// reach the target over edges summing exactly to Dist.
+func TestReverseTreeNextWalksShortestPath(t *testing.T) {
+	g := mustSynthetic(t, 4)
+	target := grid.NodeID(11)
+	tree := ReverseTreeAvoiding(g, target, nil)
+	for v := 0; v < g.NumNodes(); v++ {
+		if !tree.Reaches(grid.NodeID(v)) {
+			continue
+		}
+		total := 0.0
+		cur := grid.NodeID(v)
+		for steps := 0; cur != target; steps++ {
+			if steps > g.NumNodes() {
+				t.Fatalf("Next walk from %d does not terminate", v)
+			}
+			next := tree.Next[cur]
+			w := math.Inf(1)
+			for _, e := range g.Neighbors(cur) {
+				if e.To == next && e.Weight < w {
+					w = e.Weight
+				}
+			}
+			if math.IsInf(w, 1) {
+				t.Fatalf("Next[%d] = %d is not an out-neighbor", cur, next)
+			}
+			total += w
+			cur = next
+		}
+		if math.Abs(total-tree.Dist[v]) > 1e-9 {
+			t.Fatalf("walk from %d sums to %v, Dist says %v", v, total, tree.Dist[v])
+		}
+	}
+}
+
+// TestReverseTreeMultiNearestTarget: with several targets, Dist[v] must be
+// the minimum forward distance over all of them.
+func TestReverseTreeMultiNearestTarget(t *testing.T) {
+	g := mustSynthetic(t, 5)
+	oracle := floydWarshall(g)
+	targets := []grid.NodeID{3, 17, 29}
+	tree := ReverseTreeMulti(g, targets, nil)
+	for v := 0; v < g.NumNodes(); v++ {
+		want := math.Inf(1)
+		for _, tg := range targets {
+			if d := oracle[v][int(tg)]; d < want {
+				want = d
+			}
+		}
+		got := tree.Dist[v]
+		if math.IsInf(want, 1) != math.IsInf(got, 1) {
+			t.Fatalf("reachability of %d disagrees with oracle", v)
+		}
+		if !math.IsInf(want, 1) && math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Dist[%d] = %v, want min over targets %v", v, got, want)
+		}
+	}
+}
+
+// TestReverseTreeAvoiding: avoided nodes are neither relaxed through nor
+// used as targets, matching DijkstraAvoiding's forward behavior.
+func TestReverseTreeAvoidingMatchesForward(t *testing.T) {
+	g := mustSynthetic(t, 6)
+	target := grid.NodeID(20)
+	avoid := func(v grid.NodeID) bool { return v%5 == 2 && v != target }
+	tree := ReverseTreeAvoiding(g, target, avoid)
+	for v := 0; v < g.NumNodes(); v++ {
+		if avoid(grid.NodeID(v)) {
+			if tree.Reaches(grid.NodeID(v)) {
+				t.Fatalf("avoided node %d reaches the target", v)
+			}
+			continue
+		}
+		sp := DijkstraAvoiding(g, grid.NodeID(v), avoid)
+		want := sp.Dist[target]
+		got := tree.Dist[v]
+		if math.IsInf(want, 1) != math.IsInf(got, 1) {
+			t.Fatalf("reachability of %d disagrees with forward DijkstraAvoiding", v)
+		}
+		if !math.IsInf(want, 1) && math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Dist[%d] = %v, forward says %v", v, got, want)
+		}
+	}
+}
+
+// TestReverseTreePathFrom checks endpoint inclusion and the nil contract.
+func TestReverseTreePathFrom(t *testing.T) {
+	g := mustSynthetic(t, 7)
+	target := grid.NodeID(8)
+	tree := ReverseTreeAvoiding(g, target, nil)
+	path := tree.PathFrom(target)
+	if len(path) != 1 || path[0] != target {
+		t.Fatalf("PathFrom(target) = %v, want [target]", path)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		p := tree.PathFrom(grid.NodeID(v))
+		if !tree.Reaches(grid.NodeID(v)) {
+			if p != nil {
+				t.Fatalf("unreachable %d got path %v", v, p)
+			}
+			continue
+		}
+		if p[0] != grid.NodeID(v) || p[len(p)-1] != target {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+	}
+}
+
+// TestHopSearcherMatchesWithinHops cross-checks the zero-alloc variant
+// against the allocating package function.
+func TestHopSearcherMatchesWithinHops(t *testing.T) {
+	g := mustSynthetic(t, 8)
+	var h HopSearcher
+	for src := 0; src < g.NumNodes(); src += 3 {
+		for dst := 0; dst < g.NumNodes(); dst += 5 {
+			for m := 0; m <= 3; m++ {
+				want := WithinHops(g, grid.NodeID(src), grid.NodeID(dst), m)
+				got := h.WithinHops(g, grid.NodeID(src), grid.NodeID(dst), m)
+				if want != got {
+					t.Fatalf("WithinHops(%d, %d, %d): searcher %v, package %v", src, dst, m, got, want)
+				}
+			}
+		}
+	}
+}

@@ -13,7 +13,9 @@ package grid
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"sync"
 
 	"github.com/routeplanning/mamorl/internal/geo"
 )
@@ -37,6 +39,10 @@ type Grid struct {
 	metric geo.Metric
 	pos    []geo.Point
 	adj    [][]Edge
+	// in[v] lists the predecessors of v as Edge{To: predecessor, Weight}.
+	// Reverse shortest-path trees (graphalg.ReverseTreeMulti) traverse it to
+	// compute next-hops toward a target for every node at once.
+	in [][]Edge
 
 	arcs         int
 	edges        int // undirected pair count (arcs where both directions exist count once)
@@ -82,6 +88,11 @@ func (g *Grid) Neighbors(v NodeID) []Edge { return g.adj[v] }
 // OutDegree returns the number of out-edges of v.
 func (g *Grid) OutDegree(v NodeID) int { return len(g.adj[v]) }
 
+// InEdges returns the in-edges of v: each entry's To field is a predecessor
+// node u with an arc u -> v of the entry's Weight. The returned slice is
+// shared and must not be modified.
+func (g *Grid) InEdges(v NodeID) []Edge { return g.in[v] }
+
 // EdgeWeight returns the weight of the arc v -> w, or an error if the arc
 // does not exist.
 func (g *Grid) EdgeWeight(v, w NodeID) (float64, error) {
@@ -107,13 +118,32 @@ func (g *Grid) Distance(v, w NodeID) float64 {
 	return g.metric.Distance(g.pos[v], g.pos[w])
 }
 
+// radiusScratch pools the gather buffer of WithinRadius. Grids are shared
+// read-only across concurrently executing runs (the parallel experiment
+// executor), so the scratch cannot live on the Grid itself.
+var radiusScratch = sync.Pool{
+	New: func() any { return &[]NodeID{} },
+}
+
 // WithinRadius returns all nodes whose position lies within distance r of
 // the position of node v, including v itself. This is the sensing primitive:
 // an asset at v with sensing radius r observes exactly these nodes
 // (Section 2.2). Results are sorted by NodeID for determinism.
 func (g *Grid) WithinRadius(v NodeID, r float64) []NodeID {
-	out := g.index.withinRadius(g, g.pos[v], r)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Gather into a pooled scratch buffer, then copy into a single
+	// exact-size result: one traversal, one allocation, and safe for
+	// callers to retain the result.
+	scratch := radiusScratch.Get().(*[]NodeID)
+	buf := (*scratch)[:0]
+	g.index.forEachWithinRadius(g, g.pos[v], r, func(u NodeID) { buf = append(buf, u) })
+	var out []NodeID
+	if len(buf) > 0 {
+		slices.Sort(buf)
+		out = make([]NodeID, len(buf))
+		copy(out, buf)
+	}
+	*scratch = buf
+	radiusScratch.Put(scratch)
 	return out
 }
 
@@ -249,6 +279,15 @@ func (b *Builder) Build() (*Grid, error) {
 		}
 	}
 	g.edges = b.edges
+	g.in = make([][]Edge, len(g.pos))
+	for v, edges := range g.adj {
+		for _, e := range edges {
+			g.in[e.To] = append(g.in[e.To], Edge{To: NodeID(v), Weight: e.Weight})
+		}
+	}
+	// Out-edges are sorted by To and visited in node order, so each in-edge
+	// list is already sorted by predecessor ID — deterministic without an
+	// extra sort.
 	g.bounds = geo.Bound(g.pos)
 	g.index = newSpatialIndex(g)
 	return g, nil

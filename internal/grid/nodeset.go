@@ -1,0 +1,38 @@
+package grid
+
+// NodeSet is a reusable set of node IDs with O(1) add, lookup, and clear.
+// It replaces the throwaway map[NodeID]bool sets that planners used to
+// allocate on every decision: membership is a generation stamp per node, so
+// Reset is a single counter increment and steady-state use allocates
+// nothing. The zero value is ready; Reset sizes it to the grid.
+//
+// A NodeSet is not safe for concurrent use; give each planner its own.
+type NodeSet struct {
+	stamp []uint32
+	gen   uint32
+}
+
+// Reset clears the set and ensures capacity for node IDs in [0, n).
+func (s *NodeSet) Reset(n int) {
+	if len(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+		s.gen = 1
+		return
+	}
+	s.gen++
+	if s.gen == 0 { // generation wrap: invalidate all stamps the hard way
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// Add inserts v into the set.
+func (s *NodeSet) Add(v NodeID) { s.stamp[v] = s.gen }
+
+// Has reports whether v is in the set. IDs beyond the Reset size are
+// reported absent, so a zero-value set behaves as empty.
+func (s *NodeSet) Has(v NodeID) bool {
+	return int(v) < len(s.stamp) && s.stamp[v] == s.gen
+}

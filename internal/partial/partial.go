@@ -88,20 +88,18 @@ func NewPlanner(sc sim.Scenario, region geo.Rect, inner Maskable) (*Planner, err
 		}
 		avoid = func(v grid.NodeID) bool { return blocked[v] }
 	}
+	// One multi-source reverse shortest-path tree toward the region serves
+	// the whole team: Dist[v] is v's distance to the nearest region node
+	// and following Next walks the shortest route there. Previously every
+	// asset ran its own forward Dijkstra over the full grid.
+	tree := graphalg.ReverseTreeMulti(sc.Grid, inRegion, avoid)
 	for i, a := range sc.Team {
 		if inSet[a.Source] {
 			continue // already inside: no transit leg
 		}
-		sp := graphalg.DijkstraAvoiding(sc.Grid, a.Source, avoid)
-		best, bestD := grid.None, 0.0
-		for _, v := range inRegion {
-			if d := sp.Dist[v]; best == grid.None || d < bestD {
-				best, bestD = v, d
-			}
-		}
-		path, err := sp.PathTo(best)
-		if err != nil {
-			return nil, fmt.Errorf("partial: asset %d cannot reach the region: %w", i, err)
+		path := tree.PathFrom(a.Source)
+		if path == nil {
+			return nil, fmt.Errorf("partial: asset %d cannot reach the region from node %d", i, a.Source)
 		}
 		p.path[i] = path
 	}

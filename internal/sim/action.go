@@ -76,12 +76,19 @@ func DecodeActionAt(idx, outDegree, maxSpeed int) Action {
 // wait. The order matches EncodeActionAt indices.
 func LegalActions(g *grid.Grid, v grid.NodeID, maxSpeed int) []Action {
 	deg := g.OutDegree(v)
-	out := make([]Action, 0, ActionCount(deg, maxSpeed))
+	return AppendLegalActions(make([]Action, 0, ActionCount(deg, maxSpeed)), g, v, maxSpeed)
+}
+
+// AppendLegalActions appends the LegalActions enumeration to buf and
+// returns the extended slice. Planners pass buf[:0] of a reused buffer to
+// enumerate without allocating (the action set is recomputed every epoch
+// for every asset and every anticipated teammate).
+func AppendLegalActions(buf []Action, g *grid.Grid, v grid.NodeID, maxSpeed int) []Action {
+	deg := g.OutDegree(v)
 	for n := 0; n < deg; n++ {
 		for s := 1; s <= maxSpeed; s++ {
-			out = append(out, Action{Neighbor: n, Speed: s})
+			buf = append(buf, Action{Neighbor: n, Speed: s})
 		}
 	}
-	out = append(out, Wait)
-	return out
+	return append(buf, Wait)
 }

@@ -25,7 +25,11 @@ import (
 // cannot deadlock, and only waits as a last resort. mask, when non-nil,
 // restricts which unsensed nodes are worth visiting. The boolean result
 // reports whether a frontier exists at all.
-func FrontierStep(m *Mission, i int, blocked map[grid.NodeID]bool, mask func(grid.NodeID) bool,
+//
+// blocked is a predicate (nil means nothing is blocked) so that planners
+// can back it with a reusable grid.NodeSet instead of allocating a map per
+// decision.
+func FrontierStep(m *Mission, i int, blocked func(grid.NodeID) bool, mask func(grid.NodeID) bool,
 	prev grid.NodeID, rng *rand.Rand, voronoi bool) (Action, bool) {
 
 	g := m.Grid()
@@ -86,11 +90,11 @@ func FrontierStep(m *Mission, i int, blocked map[grid.NodeID]bool, mask func(gri
 	for parent[hop] != start {
 		hop = parent[hop]
 	}
-	if blocked[hop] {
+	if blocked != nil && blocked(hop) {
 		bestN, bestD := -1, g.Metric().Distance(g.Pos(start), g.Pos(goal))
 		var open []int
 		for n, e := range g.Neighbors(start) {
-			if blocked[e.To] || m.Obstacle(e.To) {
+			if (blocked != nil && blocked(e.To)) || m.Obstacle(e.To) {
 				continue
 			}
 			open = append(open, n)

@@ -163,23 +163,35 @@ func (m *Mission) TeamSensedCount() int { return m.teamSensedCount }
 // Obstacle reports whether node v is impassable in this mission.
 func (m *Mission) Obstacle(v grid.NodeID) bool { return m.obstacles[v] }
 
+// HasObstacles reports whether the mission has any impassable nodes, letting
+// route planners skip the avoid predicate entirely on obstacle-free grids.
+func (m *Mission) HasObstacles() bool { return len(m.obstacles) > 0 }
+
 // LegalActionsFor enumerates asset i's actions at its current node,
 // excluding moves into obstacle nodes.
 func (m *Mission) LegalActionsFor(i int) []Action {
-	acts := LegalActions(m.sc.Grid, m.cur[i], m.sc.Team[i].MaxSpeed)
+	n := ActionCount(m.sc.Grid.OutDegree(m.cur[i]), m.sc.Team[i].MaxSpeed)
+	return m.AppendLegalActionsFor(make([]Action, 0, n), i)
+}
+
+// AppendLegalActionsFor appends asset i's legal actions to buf and returns
+// the extended slice. Planners pass buf[:0] of a reused buffer so that the
+// per-epoch action enumeration allocates nothing.
+func (m *Mission) AppendLegalActionsFor(buf []Action, i int) []Action {
 	if m.obstacles == nil {
-		return acts
+		return AppendLegalActions(buf, m.sc.Grid, m.cur[i], m.sc.Team[i].MaxSpeed)
 	}
-	out := acts[:0:0]
-	for _, a := range acts {
-		if !a.IsWait() {
-			if to, _ := m.Apply(m.cur[i], a); m.obstacles[to] {
-				continue
-			}
+	deg := m.sc.Grid.OutDegree(m.cur[i])
+	edges := m.sc.Grid.Neighbors(m.cur[i])
+	for n := 0; n < deg; n++ {
+		if m.obstacles[edges[n].To] {
+			continue
 		}
-		out = append(out, a)
+		for s := 1; s <= m.sc.Team[i].MaxSpeed; s++ {
+			buf = append(buf, Action{Neighbor: n, Speed: s})
+		}
 	}
-	return out
+	return append(buf, Wait)
 }
 
 // Apply resolves the destination node of action a taken by asset i from

@@ -13,11 +13,31 @@ import (
 // pointless and Dijkstra transit is optimal — the same reasoning as the
 // partial-knowledge planner's approach leg (Section 4.1.2-1).
 //
+// Routing is backed by reverse shortest-path trees (one Dijkstra from the
+// target over the grid's in-edges yields every asset's next hop at once)
+// in a per-target memoized store:
+//
+//   - the base tree avoids only static obstacles, so it is computed once
+//     per (mission, target) and shared by the whole team — previously every
+//     asset ran its own forward Dijkstra on every reroute;
+//   - per-asset detour trees additionally avoid believed-occupied nodes and
+//     are invalidated when the asset's beliefs about teammate locations
+//     change (communication updates them).
+//
 // A Navigator belongs to one planner instance and one mission at a time.
 type Navigator struct {
-	target grid.NodeID
-	paths  map[int][]grid.NodeID
-	idx    map[int]int
+	mission *Mission
+	target  grid.NodeID
+	// trees memoizes base trees by target (the store survives re-targeting
+	// within one mission, e.g. planners probing multiple rally points).
+	trees map[grid.NodeID]*graphalg.ReverseTree
+	// detour[i] is asset i's believed-occupancy-avoiding tree; detourSig[i]
+	// is the teammate-location belief snapshot it was built for. onDetour[i]
+	// keeps the asset on its detour route until beliefs change, so base and
+	// detour trees cannot alternate into a two-node livelock.
+	detour    map[int]*graphalg.ReverseTree
+	detourSig map[int][]grid.NodeID
+	onDetour  map[int]bool
 	// yields counts consecutive blocked epochs per asset; past a
 	// rank-staggered patience the asset retreats one hop to break mutual
 	// corridor deadlocks (two assets wanting to pass through each other
@@ -27,23 +47,82 @@ type Navigator struct {
 
 // NewNavigator returns an empty navigator.
 func NewNavigator() *Navigator {
-	return &Navigator{
-		target: grid.None,
-		paths:  make(map[int][]grid.NodeID),
-		idx:    make(map[int]int),
-		yields: make(map[int]int),
-	}
+	return &Navigator{target: grid.None}
 }
 
-// reset clears cached paths when the target changes (new mission).
-func (nv *Navigator) reset(target grid.NodeID) {
-	if nv.target == target {
+// reset clears cached state when the mission or target changes. The tree
+// store survives target changes within a mission (obstacles are static for
+// its whole lifetime); detours do not (they encode per-target routes).
+func (nv *Navigator) reset(m *Mission, target grid.NodeID) {
+	if nv.mission != m {
+		nv.mission = m
+		nv.trees = make(map[grid.NodeID]*graphalg.ReverseTree)
+	}
+	if nv.target == target && nv.detour != nil {
 		return
 	}
 	nv.target = target
-	nv.paths = make(map[int][]grid.NodeID)
-	nv.idx = make(map[int]int)
+	nv.detour = make(map[int]*graphalg.ReverseTree)
+	nv.detourSig = make(map[int][]grid.NodeID)
+	nv.onDetour = make(map[int]bool)
 	nv.yields = make(map[int]int)
+}
+
+// baseTree returns the memoized obstacle-avoiding reverse tree toward the
+// current target, building it on first use.
+func (nv *Navigator) baseTree(m *Mission) *graphalg.ReverseTree {
+	if t, ok := nv.trees[nv.target]; ok {
+		return t
+	}
+	var avoid func(grid.NodeID) bool
+	if m.HasObstacles() {
+		avoid = m.Obstacle
+	}
+	t := graphalg.ReverseTreeAvoiding(m.Grid(), nv.target, avoid)
+	nv.trees[nv.target] = t
+	return t
+}
+
+// detourTree returns asset i's believed-occupancy-avoiding tree, rebuilding
+// it when the asset's beliefs about teammate locations have changed since
+// the cached one was computed. The second result reports whether the cached
+// tree was invalidated (the asset should re-evaluate whether it needs a
+// detour at all).
+func (nv *Navigator) detourTree(m *Mission, i int) (*graphalg.ReverseTree, bool) {
+	know := m.Knowledge(i)
+	sig := nv.detourSig[i]
+	fresh := false
+	if t, ok := nv.detour[i]; ok && beliefsMatch(sig, know.LastKnown, i) {
+		return t, fresh
+	}
+	fresh = true
+	t := graphalg.ReverseTreeAvoiding(m.Grid(), nv.target, func(v grid.NodeID) bool {
+		return m.Obstacle(v) || m.BelievedOccupied(i, v)
+	})
+	nv.detour[i] = t
+	nv.detourSig[i] = snapshotBeliefs(sig[:0], know.LastKnown, i)
+	return t, fresh
+}
+
+// beliefsMatch reports whether the snapshot still equals the live teammate
+// beliefs (own entry excluded — an asset never blocks itself).
+func beliefsMatch(sig []grid.NodeID, lastKnown []grid.NodeID, i int) bool {
+	if len(sig) != len(lastKnown) {
+		return false
+	}
+	for j, v := range lastKnown {
+		if j != i && sig[j] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshotBeliefs copies the teammate-location beliefs into buf.
+func snapshotBeliefs(buf []grid.NodeID, lastKnown []grid.NodeID, i int) []grid.NodeID {
+	buf = append(buf, lastKnown...)
+	buf[i] = grid.None // own entry is irrelevant; normalize it
+	return buf
 }
 
 // inboundNeighbor reports whether a teammate that has not yet arrived is
@@ -70,7 +149,7 @@ func (nv *Navigator) inboundNeighbor(m *Mission, i int) bool {
 // cruise speed, a wait when yielding or already within sensing range of the
 // target, and (Wait, false) when no route exists.
 func (nv *Navigator) Step(m *Mission, i int, target grid.NodeID) (Action, bool) {
-	nv.reset(target)
+	nv.reset(m, target)
 	g := m.Grid()
 	cur := m.Cur(i)
 
@@ -109,47 +188,41 @@ func (nv *Navigator) Step(m *Mission, i int, target grid.NodeID) (Action, bool) 
 		return Wait, true
 	}
 
-	path, ok := nv.paths[i]
-	onPath := false
-	if ok {
-		// Re-anchor the cursor at the current node (waits keep it put).
-		for j := nv.idx[i]; j < len(path); j++ {
-			if path[j] == cur {
-				nv.idx[i] = j
-				onPath = true
-				break
-			}
+	base := nv.baseTree(m)
+	if !base.Reaches(cur) {
+		return Wait, false // no obstacle-free route at all
+	}
+	next := base.Next[cur]
+
+	if nv.onDetour[i] {
+		// Committed to a detour: keep following it while the beliefs that
+		// justified it stand. detourTree invalidates on belief change, at
+		// which point the asset falls back to base routing below.
+		t, rebuilt := nv.detourTree(m, i)
+		if rebuilt {
+			nv.onDetour[i] = false
+		} else if t.Reaches(cur) {
+			next = t.Next[cur]
+		} else {
+			nv.onDetour[i] = false
 		}
 	}
-	if !ok || !onPath || nv.idx[i] >= len(path)-1 {
-		sp := graphalg.DijkstraAvoiding(g, cur, func(v grid.NodeID) bool { return m.Obstacle(v) })
-		p, err := sp.PathTo(target)
-		if err != nil {
-			return Wait, false
-		}
-		nv.paths[i] = p
-		nv.idx[i] = 0
-		path = p
-	}
-	next := path[nv.idx[i]+1]
+
 	if m.BelievedOccupied(i, next) {
 		// The corridor is blocked — possibly permanently, by a teammate
-		// already parked at the gathering point. Reroute around occupied
+		// already parked at the gathering point. Detour around occupied
 		// nodes; when no such route exists, wait with a rank-staggered
 		// patience and then retreat one hop: two assets wanting to pass
 		// through each other across a cut vertex would otherwise deadlock
 		// forever, and the stagger keeps them from retreating in lockstep.
-		sp := graphalg.DijkstraAvoiding(g, cur, func(v grid.NodeID) bool {
-			return m.Obstacle(v) || m.BelievedOccupied(i, v)
-		})
-		p, err := sp.PathTo(target)
-		if err != nil || len(p) < 2 {
+		t, _ := nv.detourTree(m, i)
+		if !t.Reaches(cur) {
 			nv.yields[i]++
 			if nv.yields[i] <= 3+i {
 				return Wait, true
 			}
 			nv.yields[i] = 0
-			delete(nv.paths, i) // force a fresh route after retreating
+			nv.onDetour[i] = false
 			for n, e := range g.Neighbors(cur) {
 				if m.Obstacle(e.To) || m.BelievedOccupied(i, e.To) {
 					continue
@@ -158,9 +231,8 @@ func (nv *Navigator) Step(m *Mission, i int, target grid.NodeID) (Action, bool) 
 			}
 			return Wait, true // fully boxed in: nothing to do but wait
 		}
-		nv.paths[i] = p
-		nv.idx[i] = 0
-		next = p[1]
+		nv.onDetour[i] = true
+		next = t.Next[cur]
 	}
 	nv.yields[i] = 0
 	for n, e := range g.Neighbors(cur) {

@@ -104,7 +104,7 @@ func TestFrontierRoutesAroundObstacles(t *testing.T) {
 	}
 	steps := 0
 	for !m.Done() && steps < 200 {
-		a, ok := FrontierStep(m, 0, map[grid.NodeID]bool{}, nil, grid.None, newTestRNG(), true)
+		a, ok := FrontierStep(m, 0, nil, nil, grid.None, newTestRNG(), true)
 		if !ok {
 			t.Fatal("frontier exhausted before discovery")
 		}

@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_2.json
+BENCH_OUT ?= BENCH_3.json
 
 .PHONY: build vet test race race-exec check bench
 
@@ -15,10 +15,11 @@ test:
 race:
 	$(GO) test -race ./internal/... .
 
-# race-exec focuses the detector on the parallel experiment executor and the
-# simulator it fans out over (the packages with real concurrency).
+# race-exec focuses the detector on the parallel experiment executor, the
+# simulator it fans out over, and the lock-free trace ring they emit into
+# (the packages with real concurrency).
 race-exec:
-	$(GO) test -race ./internal/experiments/... ./internal/sim/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/...
 
 # check is what CI runs (.github/workflows/ci.yml).
 check: build vet test race

@@ -2,7 +2,6 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"github.com/routeplanning/mamorl/internal/core"
 	"github.com/routeplanning/mamorl/internal/grid"
@@ -52,7 +51,7 @@ func printTable3(seed int64, quick bool) {
 	for _, g := range gens {
 		gr, err := g.f(seed)
 		if err != nil {
-			log.Fatalf("table 3: %s: %v", g.name, err)
+			fatalf("table 3: %s: %v", g.name, err)
 		}
 		st := gr.Stats()
 		fmt.Printf("%-26s %8d %8d %8d\n", g.name, st.Nodes, st.Edges, st.MaxOutDegree)

@@ -11,6 +11,7 @@
 //
 //	GET  /healthz          liveness
 //	GET  /metrics          metrics (Prometheus text; ?format=json for JSON)
+//	GET  /debug/traces     recent request traces (ring buffer, JSON; ?n= limit)
 //	GET  /api/grids        registered grids (name-sorted)
 //	POST /api/grids        upload a grid (JSON, gridgen format)
 //	POST /api/plan         global view: plan all assets of a mission
@@ -19,6 +20,8 @@
 // The server answers 503 with a JSON error when a plan exceeds the
 // -plan-timeout deadline, 413 when a body exceeds the -max-grid-bytes /
 // -max-plan-bytes limits, and shuts down gracefully on SIGINT/SIGTERM.
+// Every response carries an X-Trace-Id header; request log records carry
+// the same ID, and GET /debug/traces resolves it to the full span tree.
 package main
 
 import (
@@ -26,7 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -38,6 +41,18 @@ import (
 	mamorl "github.com/routeplanning/mamorl"
 )
 
+// newLogger builds the process logger in the requested format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
@@ -47,46 +62,57 @@ func main() {
 		planTimeout = flag.Duration("plan-timeout", 30*time.Second, "per-request planning deadline (503 on expiry)")
 		maxGrid     = flag.Int64("max-grid-bytes", 32<<20, "grid upload body limit in bytes (413 beyond)")
 		maxPlan     = flag.Int64("max-plan-bytes", 1<<20, "plan request body limit in bytes (413 beyond)")
+		traceBuf    = flag.Int("trace-buffer", 256, "recent request traces kept for GET /debug/traces")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		quiet       = flag.Bool("quiet", false, "disable per-request logging")
 		drain       = flag.Duration("drain", 35*time.Second, "graceful-shutdown drain budget")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); disabled when empty")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "tmplard: ", log.LstdFlags)
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
 	reqLogger := logger
 	if *quiet {
 		reqLogger = nil
 	}
 
-	logger.Printf("training Approx-MaMoRL model (seed %d)...", *seed)
+	logger.Info("training Approx-MaMoRL model", "seed", *seed)
 	srv, err := mamorl.NewTMPLARServerOpts(*seed, mamorl.TMPLAROptions{
 		PlanTimeout:  *planTimeout,
 		MaxGridBytes: *maxGrid,
 		MaxPlanBytes: *maxPlan,
+		TraceBuffer:  *traceBuf,
 		Logger:       reqLogger,
 	})
 	if err != nil {
-		logger.Fatalf("%v", err)
+		fatalf("%v", err)
 	}
 
 	if *grids != "" {
 		for _, path := range strings.Split(*grids, ",") {
 			g, err := mamorl.LoadGrid(strings.TrimSpace(path))
 			if err != nil {
-				logger.Fatalf("load %s: %v", path, err)
+				fatalf("load %s: %v", path, err)
 			}
 			srv.InstallGrid(g)
-			logger.Printf("installed grid %v", g.Stats())
+			logger.Info("installed grid", "grid", fmt.Sprint(g.Stats()))
 		}
 	}
 	if *preset != "" {
 		g, err := loadPreset(*preset, *seed)
 		if err != nil {
-			logger.Fatalf("%v", err)
+			fatalf("%v", err)
 		}
 		srv.InstallGrid(g)
-		logger.Printf("installed preset %v", g.Stats())
+		logger.Info("installed preset", "grid", fmt.Sprint(g.Stats()))
 	}
 
 	// WriteTimeout must outlast the planning deadline: a mission that uses
@@ -97,7 +123,7 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		WriteTimeout:      srv.PlanTimeout() + 15*time.Second,
 		IdleTimeout:       2 * time.Minute,
-		ErrorLog:          logger,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelError),
 	}
 
 	// The profiling endpoints live on their own listener (normally bound to
@@ -110,9 +136,9 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			logger.Printf("pprof listening on %s", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
-				logger.Printf("pprof: %v", err)
+				logger.Error("pprof", "err", err)
 			}
 		}()
 	}
@@ -122,26 +148,26 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (plan deadline %v)", *addr, srv.PlanTimeout())
+		logger.Info("listening", "addr", *addr, "plan_deadline", srv.PlanTimeout())
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		logger.Fatalf("serve: %v", err)
+		fatalf("serve: %v", err)
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
-		logger.Printf("signal received; draining for up to %v", *drain)
+		logger.Info("signal received; draining", "budget", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			logger.Printf("shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 			_ = httpSrv.Close()
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			logger.Printf("serve: %v", err)
+			logger.Error("serve", "err", err)
 		}
-		logger.Printf("stopped")
+		logger.Info("stopped")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"github.com/routeplanning/mamorl/internal/grid"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/trace"
 	"github.com/routeplanning/mamorl/internal/vessel"
 )
 
@@ -44,6 +45,10 @@ type TrainConfig struct {
 	Core core.Config
 	// Weights scalarize LM targets.
 	Weights rewardfn.Weights
+	// Tracer, when non-nil, records the pipeline as a "train.pipeline" span
+	// and is propagated to the exact solver (per-episode training spans) and
+	// the sample collector (per-episode sampling spans).
+	Tracer *trace.Tracer
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -93,6 +98,8 @@ type Pipeline struct {
 // collects samples.
 func NewPipeline(cfg TrainConfig) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
+	sp := cfg.Tracer.Start("train.pipeline", trace.Int("seed", cfg.Seed))
+	defer sp.End()
 	g := cfg.Grid
 	if g == nil {
 		var err error
@@ -113,6 +120,7 @@ func NewPipeline(cfg TrainConfig) (*Pipeline, error) {
 	}
 	coreCfg := cfg.Core
 	coreCfg.Seed = cfg.Seed
+	coreCfg.Tracer = cfg.Tracer
 	exact, err := core.NewPlanner(sc, coreCfg, cfg.Weights)
 	if err != nil {
 		return nil, fmt.Errorf("approx: exact solver: %w", err)
@@ -125,9 +133,17 @@ func NewPipeline(cfg TrainConfig) (*Pipeline, error) {
 		Episodes:  cfg.SampleEpisodes,
 		Weights:   cfg.Weights,
 		Extractor: ext,
+		Tracer:    cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if sp.Enabled() {
+		tmm, lm := data.Len()
+		sp.SetAttrs(
+			trace.Int("nodes", int64(g.NumNodes())),
+			trace.Int("tmm_samples", int64(tmm)),
+			trace.Int("lm_samples", int64(lm)))
 	}
 	return &Pipeline{Scenario: sc, Exact: exact, Data: data, Extractor: ext}, nil
 }

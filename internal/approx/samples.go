@@ -14,6 +14,7 @@ import (
 	"github.com/routeplanning/mamorl/internal/features"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/trace"
 	"github.com/routeplanning/mamorl/internal/vessel"
 )
 
@@ -87,6 +88,9 @@ type CollectOptions struct {
 	Weights rewardfn.Weights
 	// Extractor computes features; zero value selects features.New().
 	Extractor features.Extractor
+	// Tracer, when non-nil, records one "sample.episode" span per sampling
+	// mission with the cumulative sample counts.
+	Tracer *trace.Tracer
 }
 
 func (o CollectOptions) withDefaults() CollectOptions {
@@ -144,8 +148,15 @@ func CollectSamples(pl *core.Planner, opts CollectOptions) (*TrainingData, error
 	pl.SetTraining(true) // ε-greedy trajectories diversify the state sample
 	defer pl.SetTraining(false)
 	for ep := 0; ep < opts.Episodes; ep++ {
-		if _, err := sim.Run(sc, pl, sim.RunOptions{OnStep: collect}); err != nil {
+		sp := opts.Tracer.Start("sample.episode", trace.Int("episode", int64(ep)))
+		if _, err := sim.Run(sc, pl, sim.RunOptions{OnStep: collect, TraceParent: sp}); err != nil {
+			sp.End()
 			return nil, fmt.Errorf("approx: sampling episode %d: %w", ep, err)
+		}
+		if sp.Enabled() {
+			tmm, lm := data.Len()
+			sp.SetAttrs(trace.Int("tmm_samples", int64(tmm)), trace.Int("lm_samples", int64(lm)))
+			sp.End()
 		}
 	}
 	if len(data.TMMY) == 0 || len(data.LMY) == 0 {

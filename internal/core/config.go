@@ -13,6 +13,8 @@ package core
 
 import (
 	"fmt"
+
+	"github.com/routeplanning/mamorl/internal/trace"
 )
 
 // Config holds MaMoRL's hyperparameters. Zero values select the defaults
@@ -44,6 +46,11 @@ type Config struct {
 	// time; the gate deliberately enforces the paper's dense-table
 	// feasibility model.)
 	MemoryBudgetBytes float64
+	// Tracer, when non-nil, records one "train.episode" span per training
+	// episode (epsilon, scalarized reward, cumulative |ΔQ|, steps), with
+	// the episode's mission span nested under it. Not a hyperparameter:
+	// tracing never influences learning.
+	Tracer *trace.Tracer
 }
 
 // Default hyperparameter values (Section 3.2's worked example and Table 4).

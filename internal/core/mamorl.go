@@ -9,6 +9,7 @@ import (
 	"github.com/routeplanning/mamorl/internal/grid"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/trace"
 )
 
 // ErrMemoryBudget is returned when an instance's theoretical table footprint
@@ -51,6 +52,13 @@ type Planner struct {
 	// frontier until it senses something new.
 	lastSensed map[int]int
 	stall      map[int]int
+
+	// epReward/epQDelta accumulate the scalarized joint reward and the total
+	// |ΔQ| applied since the last episode boundary; Train resets them per
+	// episode and stamps them on the episode span. Observation only — they
+	// never feed back into learning.
+	epReward float64
+	epQDelta float64
 }
 
 // stallPatience mirrors the approximate planner's watchdog bound.
@@ -424,8 +432,13 @@ func (pl *Planner) Observe(m *sim.Mission, prev []grid.NodeID, acts []sim.Action
 			}
 			old := q.get(sKey, aKey, defPrev)
 			rc := rewardComponent(r, c)
-			q.set(sKey, aKey, (1-pl.cfg.Alpha)*old+pl.cfg.Alpha*(rc+pl.cfg.Gamma*maxQ))
+			next := (1-pl.cfg.Alpha)*old + pl.cfg.Alpha*(rc+pl.cfg.Gamma*maxQ)
+			q.set(sKey, aKey, next)
+			pl.epQDelta += math.Abs(next - old)
 		}
+	}
+	for c := 0; c < NumRewardComponents; c++ {
+		pl.epReward += weightComponent(pl.weights, c) * rewardComponent(r, c)
 	}
 }
 
@@ -436,8 +449,21 @@ func (pl *Planner) Train() error {
 	pl.SetTraining(true)
 	defer pl.SetTraining(false)
 	for ep := 0; ep < pl.cfg.Episodes; ep++ {
-		if _, err := sim.Run(pl.sc, pl, sim.RunOptions{Collision: sim.RecordCollisions}); err != nil {
+		sp := pl.cfg.Tracer.Start("train.episode",
+			trace.Int("episode", int64(ep)),
+			trace.Float("epsilon", pl.cfg.Epsilon))
+		pl.epReward, pl.epQDelta = 0, 0
+		res, err := sim.Run(pl.sc, pl, sim.RunOptions{Collision: sim.RecordCollisions, TraceParent: sp})
+		if err != nil {
+			sp.End()
 			return fmt.Errorf("core: training episode %d: %w", ep, err)
+		}
+		if sp.Enabled() {
+			sp.SetAttrs(
+				trace.Float("reward", pl.epReward),
+				trace.Float("q_delta", pl.epQDelta),
+				trace.Int("steps", int64(res.Steps)))
+			sp.End()
 		}
 	}
 	return nil

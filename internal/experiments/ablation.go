@@ -8,6 +8,7 @@ import (
 
 	"github.com/routeplanning/mamorl/internal/approx"
 	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/trace"
 )
 
 // The ablation study measures what each deployment mechanism of the
@@ -58,26 +59,32 @@ func (h *Harness) RunAblation(ctx context.Context, p Params) ([]AblationResult, 
 	}
 	results := fanIndexed(lim, len(variants), func(k int) varOut {
 		v := variants[k]
+		cp, cell := startCell(p, "cell.ablation", trace.String("variant", v.Name))
+		defer cell.End()
+		cp.Progress.Expect(cp.Runs)
 		type runOut struct {
 			r   sim.Result
 			cpu time.Duration
 			err error
 		}
-		outs := runIndexed(lim, p.Runs, func(run int) runOut {
-			if err := ctx.Err(); err != nil {
-				return runOut{err: err}
-			}
-			sc, err := scenarioFor(p, run)
-			if err != nil {
-				return runOut{err: err}
-			}
-			pl := approx.NewPlannerOpts(h.Linear, h.Pipe.Extractor, p.Seed+int64(run)*31, v.Opts)
-			start := time.Now()
-			r, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
-			if err != nil {
-				return runOut{err: fmt.Errorf("ablation %s run %d: %w", v.Name, run, err)}
-			}
-			return runOut{r: r, cpu: time.Since(start)}
+		outs := runIndexed(lim, cp.Runs, func(run int) runOut {
+			out := instrumentRun(cp, "ablation/"+v.Name, run, func(sp *trace.Span) runOutcome {
+				if err := ctx.Err(); err != nil {
+					return runOutcome{err: err}
+				}
+				sc, err := scenarioFor(cp, run)
+				if err != nil {
+					return runOutcome{err: err}
+				}
+				pl := approx.NewPlannerOpts(h.Linear, h.Pipe.Extractor, cp.Seed+int64(run)*31, v.Opts)
+				start := time.Now()
+				r, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{TraceParent: sp})
+				if err != nil {
+					return runOutcome{err: fmt.Errorf("ablation %s run %d: %w", v.Name, run, err)}
+				}
+				return runOutcome{res: r, cpu: time.Since(start)}
+			})
+			return runOut{r: out.res, cpu: out.cpu, err: out.err}
 		})
 		res := AblationResult{Variant: v.Name, Runs: p.Runs}
 		var tSum, fSum float64

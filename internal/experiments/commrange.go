@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"strings"
+
+	"github.com/routeplanning/mamorl/internal/trace"
 )
 
 // The communication-range study (ours, extending the paper's Figure 5(g)):
@@ -34,7 +36,8 @@ func (h *Harness) RunCommRange(ctx context.Context, p Params, factors []float64)
 	}
 	pts := fanIndexed(lim, len(factors), func(k int) ptOut {
 		factor := factors[k]
-		pv := p
+		pv, cell := startCell(p, "cell.commrange", trace.Float("factor", factor))
+		defer cell.End()
 		if factor > 0 {
 			// Resolve the factor against a representative grid of this
 			// shape (all runs share the shape, only seeds differ).

@@ -12,6 +12,7 @@ import (
 	"github.com/routeplanning/mamorl/internal/neural"
 	"github.com/routeplanning/mamorl/internal/sim"
 	"github.com/routeplanning/mamorl/internal/stats"
+	"github.com/routeplanning/mamorl/internal/trace"
 )
 
 // --- Figure 3: Approx-MaMoRL vs NN-Approx-MaMoRL -----------------------------
@@ -46,14 +47,16 @@ func (h *Harness) RunFigure3(ctx context.Context, p Params, nnOpts neural.TrainO
 	}
 
 	lim := limiterFor(p)
-	lin, err := h.evaluateWith(ctx, AlgoApprox, p, lim)
+	cp, cell := startCell(p, "cell.figure3")
+	defer cell.End()
+	lin, err := h.evaluateWith(ctx, AlgoApprox, cp, lim)
 	if err != nil {
 		return out, err
 	}
 	out.Linear = lin
 
-	nn, err := evaluateCustom(ctx, "NN-Approx-MaMoRL", p, lim, func(run int, sc sim.Scenario) (sim.Planner, float64) {
-		pl := approx.NewPlanner(nnModel, h.Pipe.Extractor, runSeed(p, run))
+	nn, err := evaluateCustom(ctx, "NN-Approx-MaMoRL", cp, lim, func(run int, sc sim.Scenario) (sim.Planner, float64) {
+		pl := approx.NewPlanner(nnModel, h.Pipe.Extractor, runSeed(cp, run))
 		return pl, float64(pl.MemoryBytes(len(sc.Team)))
 	})
 	if err != nil {
@@ -104,7 +107,9 @@ func (h *Harness) RunFigure4(ctx context.Context, p Params) (Figure4Result, erro
 		err error
 	}
 	results := fanIndexed(lim, len(Figure4Algorithms), func(k int) algoOut {
-		rs, err := h.evaluateWith(ctx, Figure4Algorithms[k], p, lim)
+		cp, cell := startCell(p, "cell.figure4", trace.String("algorithm", Figure4Algorithms[k]))
+		defer cell.End()
+		rs, err := h.evaluateWith(ctx, Figure4Algorithms[k], cp, lim)
 		return algoOut{rs, err}
 	})
 	// The union is assembled serially in algorithm order, so the front is
@@ -257,8 +262,9 @@ func (h *Harness) RunSweeps(ctx context.Context, subject string, base Params, qu
 				// deployed model.
 				var err error
 				hv, err = NewHarness(approx.TrainConfig{
-					Seed: p.Seed,
-					Core: core.Config{Episodes: v},
+					Seed:   p.Seed,
+					Core:   core.Config{Episodes: v},
+					Tracer: p.Tracer,
 				})
 				if err != nil {
 					return ptOut{err: fmt.Errorf("sweep episodes=%d: harness: %w", v, err)}
@@ -283,6 +289,9 @@ func (h *Harness) RunSweeps(ctx context.Context, subject string, base Params, qu
 
 func (h *Harness) sweepPoint(ctx context.Context, subject string, p Params, value int, lim limiter) (SweepPoint, error) {
 	pt := SweepPoint{Value: float64(value)}
+	cp, cell := startCell(p, "cell.sweep",
+		trace.String("subject", subject), trace.Int("value", int64(value)))
+	defer cell.End()
 	// The three algorithms of one point are themselves independent cells.
 	algos := []string{subject, AlgoBaseline1, AlgoRandomWalk}
 	type algoOut struct {
@@ -290,7 +299,7 @@ func (h *Harness) sweepPoint(ctx context.Context, subject string, p Params, valu
 		err error
 	}
 	results := fanIndexed(lim, len(algos), func(k int) algoOut {
-		rs, err := h.evaluateWith(ctx, algos[k], p, lim)
+		rs, err := h.evaluateWith(ctx, algos[k], cp, lim)
 		return algoOut{rs, err}
 	})
 	for _, r := range results {
@@ -376,6 +385,10 @@ type Figure8Options struct {
 	// Parallel caps concurrent evaluation runs across all four transfer
 	// cells (0 or 1 = serial), mirroring Params.Parallel.
 	Parallel int
+	// Tracer and Progress mirror Params: per-cell and per-run spans, live
+	// run telemetry. Both may be nil.
+	Tracer   *trace.Tracer
+	Progress *Progress
 }
 
 func (o Figure8Options) withDefaults() Figure8Options {
@@ -422,7 +435,7 @@ func RunFigure8(ctx context.Context, carib, naShore *grid.Grid, opts Figure8Opti
 		if err != nil {
 			return modelOut{err: fmt.Errorf("figure 8: %s training region: %w", basin.name, err)}
 		}
-		h, err := NewHarness(approx.TrainConfig{Grid: sub, Seed: opts.Seed, MaxSpeed: opts.EvalMaxSpeed})
+		h, err := NewHarness(approx.TrainConfig{Grid: sub, Seed: opts.Seed, MaxSpeed: opts.EvalMaxSpeed, Tracer: opts.Tracer})
 		if err != nil {
 			return modelOut{err: fmt.Errorf("figure 8: %s pipeline: %w", basin.name, err)}
 		}
@@ -445,12 +458,22 @@ func RunFigure8(ctx context.Context, carib, naShore *grid.Grid, opts Figure8Opti
 	cells := fanIndexed(lim, len(basins)*len(basins), func(c int) cellOut {
 		trained, eval := basins[c/len(basins)], basins[c%len(basins)]
 		h := models[trained.name]
+		cell := opts.Tracer.Start("cell.figure8",
+			trace.String("trained_on", trained.name), trace.String("evaluated_on", eval.name))
+		defer cell.End()
+		opts.Progress.Expect(opts.Runs)
 		type f8Out struct {
 			res sim.Result
 			cpu time.Duration
 			err error
 		}
 		outs := runIndexed(lim, opts.Runs, func(run int) f8Out {
+			sp := cell.Child("run",
+				trace.Int("run", int64(run)), trace.Int("seed", opts.Seed+int64(run)))
+			defer func() {
+				sp.End()
+				opts.Progress.RunDone()
+			}()
 			if err := ctx.Err(); err != nil {
 				return f8Out{err: err}
 			}
@@ -460,7 +483,10 @@ func RunFigure8(ctx context.Context, carib, naShore *grid.Grid, opts Figure8Opti
 			}
 			pl := approx.NewPlanner(h.Linear, h.Pipe.Extractor, opts.Seed+int64(run))
 			start := time.Now()
-			res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
+			res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{TraceParent: sp})
+			if sp.Enabled() && err == nil {
+				sp.SetAttrs(trace.Bool("found", res.Found), trace.Int("steps", int64(res.Steps)))
+			}
 			return f8Out{res: res, cpu: time.Since(start), err: err}
 		})
 		rs := RunStats{Algorithm: AlgoApprox, Runs: opts.Runs}

@@ -9,10 +9,12 @@ import (
 	"github.com/routeplanning/mamorl/internal/approx"
 	"github.com/routeplanning/mamorl/internal/baselines"
 	"github.com/routeplanning/mamorl/internal/core"
+	"github.com/routeplanning/mamorl/internal/obs"
 	"github.com/routeplanning/mamorl/internal/partial"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
 	"github.com/routeplanning/mamorl/internal/stats"
+	"github.com/routeplanning/mamorl/internal/trace"
 )
 
 // Algorithm names as they appear in the paper's tables.
@@ -46,9 +48,15 @@ func NewHarness(cfg approx.TrainConfig) (*Harness, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := cfg.Tracer.Start("fit.linear")
 	lin, dur, err := approx.FitLinear(pipe.Data)
 	if err != nil {
+		sp.End()
 		return nil, err
+	}
+	if sp.Enabled() {
+		sp.SetAttrs(trace.Float("fit_seconds", dur.Seconds()))
+		sp.End()
 	}
 	return &Harness{Pipe: pipe, Linear: lin, LinearTrainTime: dur}, nil
 }
@@ -121,6 +129,56 @@ type runOutcome struct {
 // the seed schedule lives, so PerRun records and re-runs agree on it.
 func runSeed(p Params, run int) int64 { return p.Seed + int64(run)*104729 }
 
+// instrumentRun wraps one leaf run with the whole observability surface:
+// the in-flight gauge, the per-run span (handed to fn so the mission can
+// nest under it), the runs_total counter, and the progress tick. With no
+// tracer/metrics/progress configured every branch is a nil check and fn
+// runs untouched — determinism never depends on instrumentation.
+// RegisterMetricsHelp documents the experiment metric names for the
+// Prometheus exposition (# HELP lines). Drivers that hand a registry to
+// Params.Metrics call it once up front.
+func RegisterMetricsHelp(m *obs.Registry) {
+	m.SetHelp("experiments_runs_total", "Experiment leaf runs completed, by algorithm.")
+	m.SetHelp("experiments_inflight_runs", "Experiment runs currently executing.")
+	m.SetHelp("trace_span_seconds", "Span durations from the suite tracer, by span name.")
+}
+
+func instrumentRun(p Params, algo string, run int, fn func(sp *trace.Span) runOutcome) runOutcome {
+	if p.Metrics != nil {
+		g := p.Metrics.Gauge("experiments_inflight_runs")
+		g.Inc()
+		defer g.Dec()
+	}
+	var sp *trace.Span
+	if p.traceParent != nil {
+		sp = p.traceParent.Child("run")
+	} else if p.Tracer.Enabled() {
+		sp = p.Tracer.Start("run")
+	}
+	if sp.Enabled() {
+		sp.SetAttrs(
+			trace.String("algorithm", algo),
+			trace.Int("run", int64(run)),
+			trace.Int("seed", runSeed(p, run)))
+	}
+	out := fn(sp)
+	if sp.Enabled() {
+		if out.err != nil {
+			sp.SetAttrs(trace.String("error", out.err.Error()))
+		} else {
+			sp.SetAttrs(
+				trace.Bool("found", out.res.Found),
+				trace.Int("steps", int64(out.res.Steps)))
+		}
+		sp.End()
+	}
+	if p.Metrics != nil {
+		p.Metrics.Counter("experiments_runs_total", "algorithm", algo).Inc()
+	}
+	p.Progress.RunDone()
+	return out
+}
+
 // Evaluate runs one algorithm over p.Runs seeded instances, in parallel if
 // p.Parallel > 1. Run results stay aligned by seed regardless of
 // completion order — PerRun[i] always holds run i — keeping paired t-tests
@@ -136,23 +194,26 @@ func (h *Harness) Evaluate(ctx context.Context, algo string, p Params) (RunStats
 // limiter across all of their inner run loops instead of multiplying
 // p.Parallel by the cell count.
 func (h *Harness) evaluateWith(ctx context.Context, algo string, p Params, lim limiter) (RunStats, error) {
+	p.Progress.Expect(p.Runs)
 	outcomes := runIndexed(lim, p.Runs, func(run int) runOutcome {
-		if err := ctx.Err(); err != nil {
-			return runOutcome{err: err}
-		}
-		sc, err := scenarioFor(p, run)
-		if err != nil {
-			return runOutcome{err: err}
-		}
-		res, cpu, mem, err := h.runOne(ctx, algo, sc, p, run)
-		if err != nil && errors.Is(err, core.ErrMemoryBudget) {
-			numActions := core.InstanceActions(sc.Grid, sc.Team)
-			return runOutcome{
-				err: err,
-				mem: core.QTableBytes(sc.Grid.NumNodes(), len(sc.Team), numActions, sc.Team.MaxSpeedOver()),
+		return instrumentRun(p, algo, run, func(sp *trace.Span) runOutcome {
+			if err := ctx.Err(); err != nil {
+				return runOutcome{err: err}
 			}
-		}
-		return runOutcome{res: res, cpu: cpu, mem: mem, err: err}
+			sc, err := scenarioFor(p, run)
+			if err != nil {
+				return runOutcome{err: err}
+			}
+			res, cpu, mem, err := h.runOne(ctx, algo, sc, p, run, sp)
+			if err != nil && errors.Is(err, core.ErrMemoryBudget) {
+				numActions := core.InstanceActions(sc.Grid, sc.Team)
+				return runOutcome{
+					err: err,
+					mem: core.QTableBytes(sc.Grid.NumNodes(), len(sc.Team), numActions, sc.Team.MaxSpeedOver()),
+				}
+			}
+			return runOutcome{res: res, cpu: cpu, mem: mem, err: err}
+		})
 	})
 	return collectStats(algo, p, outcomes)
 }
@@ -165,18 +226,21 @@ func (h *Harness) evaluateWith(ctx context.Context, algo string, p Params, lim l
 func evaluateCustom(ctx context.Context, name string, p Params, lim limiter,
 	mk func(run int, sc sim.Scenario) (sim.Planner, float64)) (RunStats, error) {
 
+	p.Progress.Expect(p.Runs)
 	outcomes := runIndexed(lim, p.Runs, func(run int) runOutcome {
-		if err := ctx.Err(); err != nil {
-			return runOutcome{err: err}
-		}
-		sc, err := scenarioFor(p, run)
-		if err != nil {
-			return runOutcome{err: err}
-		}
-		start := time.Now()
-		pl, mem := mk(run, sc)
-		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
-		return runOutcome{res: res, cpu: time.Since(start), mem: mem, err: err}
+		return instrumentRun(p, name, run, func(sp *trace.Span) runOutcome {
+			if err := ctx.Err(); err != nil {
+				return runOutcome{err: err}
+			}
+			sc, err := scenarioFor(p, run)
+			if err != nil {
+				return runOutcome{err: err}
+			}
+			start := time.Now()
+			pl, mem := mk(run, sc)
+			res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{TraceParent: sp})
+			return runOutcome{res: res, cpu: time.Since(start), mem: mem, err: err}
+		})
 	})
 	return collectStats(name, p, outcomes)
 }
@@ -238,8 +302,9 @@ func collectStats(algo string, p Params, outcomes []runOutcome) (RunStats, error
 // runOne executes a single seeded run of an algorithm, returning the
 // mission result, the planner CPU time, and the planner memory footprint.
 // The mission aborts between epochs when ctx is cancelled.
-func (h *Harness) runOne(ctx context.Context, algo string, sc sim.Scenario, p Params, run int) (sim.Result, time.Duration, float64, error) {
+func (h *Harness) runOne(ctx context.Context, algo string, sc sim.Scenario, p Params, run int, sp *trace.Span) (sim.Result, time.Duration, float64, error) {
 	seed := runSeed(p, run)
+	opts := sim.RunOptions{TraceParent: sp}
 	start := time.Now()
 	switch algo {
 	case AlgoMaMoRL:
@@ -250,13 +315,13 @@ func (h *Harness) runOne(ctx context.Context, algo string, sc sim.Scenario, p Pa
 		if err := pl.Train(); err != nil {
 			return sim.Result{}, 0, 0, err
 		}
-		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
+		res, err := sim.RunContext(ctx, sc, pl, opts)
 		st := pl.TableStats()
 		return res, time.Since(start), st.DenseQBytes, err
 
 	case AlgoApprox:
 		pl := approx.NewPlanner(h.Linear, h.Pipe.Extractor, seed)
-		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
+		res, err := sim.RunContext(ctx, sc, pl, opts)
 		return res, time.Since(start), float64(pl.MemoryBytes(len(sc.Team))), err
 
 	case AlgoApproxPK:
@@ -265,17 +330,17 @@ func (h *Harness) runOne(ctx context.Context, algo string, sc sim.Scenario, p Pa
 		if err != nil {
 			return sim.Result{}, 0, 0, err
 		}
-		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
+		res, err := sim.RunContext(ctx, sc, pl, opts)
 		return res, time.Since(start), float64(inner.MemoryBytes(len(sc.Team))), err
 
 	case AlgoBaseline1:
 		pl := baselines.NewRoundRobin(rewardfn.Weights{}, seed)
-		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
+		res, err := sim.RunContext(ctx, sc, pl, opts)
 		return res, time.Since(start), baselineStateBytes(len(sc.Team)), err
 
 	case AlgoBaseline2:
 		pl := baselines.NewIndependent(rewardfn.Weights{}, seed)
-		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{Collision: sim.AbortOnCollision})
+		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{Collision: sim.AbortOnCollision, TraceParent: sp})
 		return res, time.Since(start), baselineStateBytes(len(sc.Team)), err
 
 	case AlgoRandomWalk:
@@ -284,7 +349,7 @@ func (h *Harness) runOne(ctx context.Context, algo string, sc sim.Scenario, p Pa
 		// thousands); give it the step budget to actually finish.
 		sc.MaxSteps = sc.Grid.NumNodes() * 150
 		pl := baselines.NewRandomWalk(seed)
-		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{})
+		res, err := sim.RunContext(ctx, sc, pl, opts)
 		return res, time.Since(start), baselineStateBytes(len(sc.Team)), err
 
 	default:

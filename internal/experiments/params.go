@@ -14,7 +14,9 @@ import (
 	"github.com/routeplanning/mamorl/internal/approx"
 	"github.com/routeplanning/mamorl/internal/geo"
 	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/obs"
 	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/trace"
 )
 
 // Params mirrors Table 4's default parameter values and adds the run
@@ -44,6 +46,40 @@ type Params struct {
 	SensingRadiusFactor float64
 	// Seed bases all run seeds.
 	Seed int64
+
+	// Tracer, when non-nil, records one span per cell (driver × setting)
+	// and per leaf run, with the mission span nested under the run span.
+	// Tracing is pure observation: PerRun records are byte-identical with
+	// it on or off (TestTracingDeterminism pins this).
+	Tracer *trace.Tracer
+	// Progress, when non-nil, receives live run-completion telemetry
+	// (Expect/RunDone) from every driver.
+	Progress *Progress
+	// Metrics, when non-nil, gains experiments_runs_total counters and the
+	// experiments_inflight_runs gauge.
+	Metrics *obs.Registry
+
+	// traceParent parents run spans under the enclosing cell span. Drivers
+	// set it via startCell; it is unexported so the public API stays
+	// Tracer-only.
+	traceParent *trace.Span
+}
+
+// startCell opens one cell span named name under p's tracer (or under an
+// enclosing cell), returning Params whose leaf runs parent under it. The
+// caller must End the returned span; a nil tracer yields a nil span and the
+// original Params, so call sites need no conditionals.
+func startCell(p Params, name string, attrs ...trace.Attr) (Params, *trace.Span) {
+	var sp *trace.Span
+	if p.traceParent != nil {
+		sp = p.traceParent.Child(name, attrs...)
+	} else if p.Tracer.Enabled() {
+		sp = p.Tracer.Start(name, attrs...)
+	}
+	if sp != nil {
+		p.traceParent = sp
+	}
+	return p, sp
 }
 
 // DefaultParams returns Table 4's defaults with the paper's 10-run

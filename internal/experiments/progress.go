@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a live run-completion reporter for long experiment suites:
+// drivers declare how many leaf runs they will execute (Expect) and every
+// completed run ticks RunDone, which repaints a single status line
+//
+//	[table6] 37/120 runs  4.1 runs/s  ETA 20s
+//
+// at most once per interval. All methods are safe on a nil receiver, so the
+// reporter threads through Params exactly like the tracer: absent by
+// default, zero conditionals at call sites.
+//
+// Progress is safe for concurrent use; parallel executors tick it from many
+// goroutines.
+type Progress struct {
+	mu        sync.Mutex
+	w         io.Writer
+	interval  time.Duration
+	now       func() time.Time
+	label     string
+	total     int
+	done      int
+	started   time.Time
+	lastPaint time.Time
+	painted   bool
+}
+
+// NewProgress reports to w, repainting at most once per interval (zero
+// selects one second).
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	p := &Progress{w: w, interval: interval, now: time.Now}
+	p.started = p.now()
+	return p
+}
+
+// SetNow replaces the clock (tests drive a fake one). Call before use.
+func (p *Progress) SetNow(now func() time.Time) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.now = now
+	p.started = now()
+	p.lastPaint = time.Time{}
+}
+
+// SetLabel names the current driver in the status line.
+func (p *Progress) SetLabel(label string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.label = label
+}
+
+// Expect adds n upcoming runs to the denominator. Drivers call it as they
+// fan out, so the total grows with the suite.
+func (p *Progress) Expect(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total += n
+}
+
+// RunDone records one completed run and repaints if the interval elapsed.
+func (p *Progress) RunDone() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	now := p.now()
+	if now.Sub(p.lastPaint) < p.interval {
+		return
+	}
+	p.lastPaint = now
+	p.paint(now)
+}
+
+// Finish repaints the final state and terminates the status line. No-op when
+// nothing was ever painted (quiet suites stay quiet).
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done == 0 && !p.painted {
+		return
+	}
+	p.paint(p.now())
+	fmt.Fprintln(p.w)
+}
+
+// paint writes the status line. Callers hold p.mu.
+func (p *Progress) paint(now time.Time) {
+	p.painted = true
+	elapsed := now.Sub(p.started).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(p.done) / elapsed
+	}
+	eta := "?"
+	if rate > 0 && p.total >= p.done {
+		eta = time.Duration(float64(p.total-p.done) / rate * float64(time.Second)).Round(time.Second).String()
+	}
+	label := ""
+	if p.label != "" {
+		label = "[" + p.label + "] "
+	}
+	// \r + trailing padding repaints in place on a terminal.
+	fmt.Fprintf(p.w, "\r%s%d/%d runs  %.1f runs/s  ETA %s   ", label, p.done, p.total, rate, eta)
+}

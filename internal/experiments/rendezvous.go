@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"strings"
+
+	"github.com/routeplanning/mamorl/internal/trace"
 )
 
 // The rendezvous study (ours, extending the paper): missions continue past
@@ -33,20 +35,25 @@ func (h *Harness) RunRendezvous(ctx context.Context, p Params) ([]RendezvousRow,
 	rows := fanIndexed(lim, len(algos), func(k int) rowOut {
 		algo := algos[k]
 		row := RendezvousRow{Algorithm: algo}
-		outs := runIndexed(lim, p.Runs, func(run int) runOutcome {
-			if err := ctx.Err(); err != nil {
-				return runOutcome{err: err}
-			}
-			sc, err := scenarioFor(p, run)
-			if err != nil {
-				return runOutcome{err: err}
-			}
-			sc.Rendezvous = true
-			res, cpu, mem, err := h.runOne(ctx, algo, sc, p, run)
-			if err != nil {
-				return runOutcome{err: fmt.Errorf("rendezvous %s run %d: %w", algo, run, err)}
-			}
-			return runOutcome{res: res, cpu: cpu, mem: mem}
+		cp, cell := startCell(p, "cell.rendezvous", trace.String("algorithm", algo))
+		defer cell.End()
+		cp.Progress.Expect(cp.Runs)
+		outs := runIndexed(lim, cp.Runs, func(run int) runOutcome {
+			return instrumentRun(cp, algo, run, func(sp *trace.Span) runOutcome {
+				if err := ctx.Err(); err != nil {
+					return runOutcome{err: err}
+				}
+				sc, err := scenarioFor(cp, run)
+				if err != nil {
+					return runOutcome{err: err}
+				}
+				sc.Rendezvous = true
+				res, cpu, mem, err := h.runOne(ctx, algo, sc, cp, run, sp)
+				if err != nil {
+					return runOutcome{err: fmt.Errorf("rendezvous %s run %d: %w", algo, run, err)}
+				}
+				return runOutcome{res: res, cpu: cpu, mem: mem}
+			})
 		})
 		var fracSum float64
 		var fracN int

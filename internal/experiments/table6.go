@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/routeplanning/mamorl/internal/core"
+	"github.com/routeplanning/mamorl/internal/trace"
 )
 
 // Table6Scenario describes one scenario block of Table 6.
@@ -57,7 +58,10 @@ func (h *Harness) runTable6(ctx context.Context, scenarios []Table6Scenario, lim
 	nAlgos := len(AllAlgorithms)
 	cells := fanIndexed(lim, len(scenarios)*nAlgos, func(c int) cellOut {
 		sc, algo := scenarios[c/nAlgos], AllAlgorithms[c%nAlgos]
-		rs, err := h.evaluateWith(ctx, algo, sc.Params, lim)
+		cp, cell := startCell(sc.Params, "cell.table6",
+			trace.String("scenario", sc.Label), trace.String("algorithm", algo))
+		defer cell.End()
+		rs, err := h.evaluateWith(ctx, algo, cp, lim)
 		if err != nil {
 			return cellOut{err: fmt.Errorf("table 6, %s / %s: %w", sc.Label, algo, err)}
 		}

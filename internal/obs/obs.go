@@ -37,6 +37,36 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// Gauge is a value that can go up and down (in-flight requests, queue
+// depth). The float64 payload is stored as bits in a uint64, so Set is a
+// single atomic store and Add a CAS loop, safe for concurrent handlers.
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(x float64) { g.v.Store(math.Float64bits(x)) }
+
+// Add adjusts the gauge by delta (negative to decrement).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Histogram accumulates observations into fixed, cumulative-style buckets
 // (each bucket counts observations <= its bound, Prometheus `le` semantics
 // are derived at export time) plus a running sum and count.
@@ -77,13 +107,21 @@ var DefaultLatencyBuckets = []float64{
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*counterEntry
+	gauges   map[string]*gaugeEntry
 	hists    map[string]*histEntry
+	help     map[string]string // metric name -> HELP text
 }
 
 type counterEntry struct {
 	name   string
 	labels []string // alternating key, value
 	c      *Counter
+}
+
+type gaugeEntry struct {
+	name   string
+	labels []string
+	g      *Gauge
 }
 
 type histEntry struct {
@@ -96,8 +134,18 @@ type histEntry struct {
 func New() *Registry {
 	return &Registry{
 		counters: make(map[string]*counterEntry),
+		gauges:   make(map[string]*gaugeEntry),
 		hists:    make(map[string]*histEntry),
+		help:     make(map[string]string),
 	}
+}
+
+// SetHelp attaches a HELP string to a metric name, emitted as a `# HELP`
+// line by WritePrometheus. Help is per metric name, not per label set.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
 }
 
 // metricKey builds the lookup key for a name and alternating key/value
@@ -139,6 +187,29 @@ func (r *Registry) Counter(name string, labels ...string) *Counter {
 	return e.c
 }
 
+// Gauge returns (creating on first use) the gauge with the given name and
+// alternating key/value labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if len(labels)%2 != 0 {
+		panic("obs: odd label count for " + name)
+	}
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	e, ok := r.gauges[key]
+	r.mu.RUnlock()
+	if ok {
+		return e.g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok = r.gauges[key]; ok {
+		return e.g
+	}
+	e = &gaugeEntry{name: name, labels: append([]string(nil), labels...), g: &Gauge{}}
+	r.gauges[key] = e
+	return e.g
+}
+
 // Histogram returns (creating on first use) the histogram with the given
 // name, bucket bounds, and alternating key/value labels. The bounds of the
 // first registration win.
@@ -174,6 +245,13 @@ type CounterSnapshot struct {
 	Value  uint64            `json:"value"`
 }
 
+// GaugeSnapshot is one gauge's exported state.
+type GaugeSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
 // HistogramSnapshot is one histogram's exported state. Buckets are
 // cumulative counts of observations <= the matching bound; the +Inf bucket
 // equals Count.
@@ -189,6 +267,7 @@ type HistogramSnapshot struct {
 // Snapshot is a point-in-time JSON-able view of the whole registry.
 type Snapshot struct {
 	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms"`
 }
 
@@ -214,6 +293,11 @@ func (r *Registry) Snapshot() Snapshot {
 			Name: e.name, Labels: labelMap(e.labels), Value: e.c.Value(),
 		})
 	}
+	for _, e := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{
+			Name: e.name, Labels: labelMap(e.labels), Value: e.g.Value(),
+		})
+	}
 	for _, e := range r.hists {
 		hs := HistogramSnapshot{
 			Name: e.name, Labels: labelMap(e.labels),
@@ -228,6 +312,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms = append(s.Histograms, hs)
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return counterLess(s.Counters[i], s.Counters[j]) })
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		if s.Gauges[i].Name != s.Gauges[j].Name {
+			return s.Gauges[i].Name < s.Gauges[j].Name
+		}
+		return fmt.Sprint(s.Gauges[i].Labels) < fmt.Sprint(s.Gauges[j].Labels)
+	})
 	sort.Slice(s.Histograms, func(i, j int) bool {
 		if s.Histograms[i].Name != s.Histograms[j].Name {
 			return s.Histograms[i].Name < s.Histograms[j].Name
@@ -256,6 +346,49 @@ func (r *Registry) CounterValue(name string, labels ...string) uint64 {
 	return 0
 }
 
+// GaugeValue returns the current value of a gauge, 0 when absent.
+func (r *Registry) GaugeValue(name string, labels ...string) float64 {
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.gauges[key]; ok {
+		return e.g.Value()
+	}
+	return 0
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text exposition
+// format (version 0.0.4): backslash, double quote and line feed. Go's %q
+// would additionally escape non-ASCII and control characters, which the
+// spec forbids (label values are raw UTF-8 with only those three escapes).
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and line feed (quotes are
+// legal in help text).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
 func promLabels(labels []string, extra ...string) string {
 	all := append(append([]string(nil), labels...), extra...)
 	if len(all) == 0 {
@@ -267,7 +400,10 @@ func promLabels(labels []string, extra ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", all[i], all[i+1])
+		b.WriteString(all[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(all[i+1]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -281,9 +417,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, e := range r.counters {
 		counters = append(counters, e)
 	}
+	gauges := make([]*gaugeEntry, 0, len(r.gauges))
+	for _, e := range r.gauges {
+		gauges = append(gauges, e)
+	}
 	hists := make([]*histEntry, 0, len(r.hists))
 	for _, e := range r.hists {
 		hists = append(hists, e)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
 	}
 	r.mu.RUnlock()
 
@@ -293,6 +437,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		return strings.Join(counters[i].labels, ",") < strings.Join(counters[j].labels, ",")
 	})
+	sort.Slice(gauges, func(i, j int) bool {
+		if gauges[i].name != gauges[j].name {
+			return gauges[i].name < gauges[j].name
+		}
+		return strings.Join(gauges[i].labels, ",") < strings.Join(gauges[j].labels, ",")
+	})
 	sort.Slice(hists, func(i, j int) bool {
 		if hists[i].name != hists[j].name {
 			return hists[i].name < hists[j].name
@@ -301,23 +451,40 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	})
 
 	typed := map[string]bool{}
-	for _, e := range counters {
-		if !typed[e.name] {
-			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", e.name); err != nil {
+	// header emits the # HELP (when registered) and # TYPE lines once per
+	// metric name.
+	header := func(name, typ string) error {
+		if typed[name] {
+			return nil
+		}
+		typed[name] = true
+		if h, ok := help[name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(h)); err != nil {
 				return err
 			}
-			typed[e.name] = true
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		return err
+	}
+	for _, e := range counters {
+		if err := header(e.name, "counter"); err != nil {
+			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s%s %d\n", e.name, promLabels(e.labels), e.c.Value()); err != nil {
 			return err
 		}
 	}
+	for _, e := range gauges {
+		if err := header(e.name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %g\n", e.name, promLabels(e.labels), e.g.Value()); err != nil {
+			return err
+		}
+	}
 	for _, e := range hists {
-		if !typed[e.name] {
-			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", e.name); err != nil {
-				return err
-			}
-			typed[e.name] = true
+		if err := header(e.name, "histogram"); err != nil {
+			return err
 		}
 		cum := uint64(0)
 		for i, b := range e.h.bounds {

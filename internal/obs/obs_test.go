@@ -123,3 +123,117 @@ func TestConcurrentObservations(t *testing.T) {
 		t.Fatalf("hist count = %d", snap.Histograms[0].Count)
 	}
 }
+
+func TestGauge(t *testing.T) {
+	r := New()
+	g := r.Gauge("inflight_requests")
+	g.Set(3)
+	if v := g.Value(); v != 3 {
+		t.Fatalf("Value() = %g want 3", v)
+	}
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if v := g.Value(); v != 4 {
+		t.Fatalf("after Inc/Inc/Dec: %g want 4", v)
+	}
+	g.Add(-1.5)
+	if v := g.Value(); v != 2.5 {
+		t.Fatalf("after Add(-1.5): %g want 2.5", v)
+	}
+	if r.Gauge("inflight_requests") != g {
+		t.Fatal("Gauge lookup did not return the same handle")
+	}
+	if v := r.GaugeValue("inflight_requests"); v != 2.5 {
+		t.Fatalf("GaugeValue = %g want 2.5", v)
+	}
+	if v := r.GaugeValue("missing"); v != 0 {
+		t.Fatalf("missing gauge = %g want 0", v)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	// The CAS loop in Add must not lose updates under contention.
+	r := New()
+	g := r.Gauge("g")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 8000 {
+		t.Fatalf("gauge = %g want 8000", v)
+	}
+}
+
+func TestGaugeExposition(t *testing.T) {
+	r := New()
+	r.Gauge("inflight_runs", "driver", "table6").Set(7)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE inflight_runs gauge",
+		`inflight_runs{driver="table6"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	snap := r.Snapshot()
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Value != 7 || snap.Gauges[0].Name != "inflight_runs" {
+		t.Fatalf("gauge snapshot = %+v", snap.Gauges)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"inflight_runs"`) {
+		t.Fatalf("gauge missing from JSON: %s", data)
+	}
+}
+
+func TestHelpLines(t *testing.T) {
+	r := New()
+	r.SetHelp("requests_total", "Total requests\nwith a newline and a back\\slash")
+	r.SetHelp("inflight", "Requests in flight.")
+	r.Counter("requests_total").Inc()
+	r.Gauge("inflight").Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP requests_total Total requests\\nwith a newline and a back\\\\slash\n# TYPE requests_total counter",
+		"# HELP inflight Requests in flight.\n# TYPE inflight gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := New()
+	r.Counter("c_total", "path", "a\\b\"c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Exposition format 0.0.4: backslash, quote, and newline are the only
+	// escapes inside a label value.
+	want := `c_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("missing %q in:\n%s", want, b.String())
+	}
+}

@@ -3,9 +3,12 @@ package sim
 import (
 	"context"
 	"fmt"
+	"strings"
+	"time"
 
 	"github.com/routeplanning/mamorl/internal/grid"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
+	"github.com/routeplanning/mamorl/internal/trace"
 	"github.com/routeplanning/mamorl/internal/weather"
 )
 
@@ -81,6 +84,11 @@ type Mission struct {
 	discoveryStep int
 	collisions    int
 	aborted       bool
+
+	// span, when non-nil, receives mission events (communicate, found,
+	// reroute, detour) as they happen. RunContext attaches it; nil during
+	// unobserved missions, so every emission site guards on it.
+	span *trace.Span
 }
 
 // NewMission initializes an episode: assets at their sources, initial
@@ -266,6 +274,11 @@ func (m *Mission) checkDiscovery() {
 					m.know[j].DestKnown = true
 					m.know[j].Dest = m.sc.Dest
 				}
+				if m.span != nil {
+					m.span.Event("found",
+						trace.Int("asset", int64(i)),
+						trace.Int("step", int64(m.step)))
+				}
 				m.communicate()
 				break
 			}
@@ -329,6 +342,11 @@ func (m *Mission) communicateGroups(groups [][]int) {
 	for _, group := range groups {
 		if len(group) < 2 {
 			continue
+		}
+		if m.span != nil {
+			m.span.Event("communicate",
+				trace.Int("step", int64(m.step)),
+				trace.Int("group", int64(len(group))))
 		}
 		// Locations.
 		for _, i := range group {
@@ -499,6 +517,40 @@ func RunContext(ctx context.Context, sc Scenario, p Planner, opts RunOptions) (R
 	if err != nil {
 		return Result{}, err
 	}
+
+	// Attach the mission span: child of the experiment/request span when one
+	// is supplied, else a fresh trace.
+	var sp *trace.Span
+	if opts.TraceParent != nil {
+		sp = opts.TraceParent.Child("mission")
+	} else if opts.Tracer.Enabled() {
+		sp = opts.Tracer.Start("mission")
+	}
+	if sp.Enabled() {
+		sp.SetAttrs(
+			trace.String("planner", p.Name()),
+			trace.Int("nodes", int64(sc.Grid.NumNodes())),
+			trace.Int("assets", int64(len(sc.Team))))
+		m.span = sp
+		// NewMission runs the initial sense+discovery before the span can be
+		// attached; compensate for a step-0 discovery here.
+		if m.foundBy >= 0 {
+			sp.Event("found",
+				trace.Int("asset", int64(m.foundBy)),
+				trace.Int("step", 0))
+		}
+		defer func() {
+			res := m.Result()
+			sp.SetAttrs(
+				trace.Bool("found", res.Found),
+				trace.Int("steps", int64(res.Steps)),
+				trace.Float("t_total", res.TTotal),
+				trace.Float("f_total", res.FTotal),
+				trace.Int("collisions", int64(res.Collisions)))
+			sp.End()
+		}()
+	}
+
 	learner, _ := p.(Learner)
 	acts := make([]Action, len(sc.Team))
 	for !m.Done() {
@@ -506,12 +558,28 @@ func RunContext(ctx context.Context, sc Scenario, p Planner, opts RunOptions) (R
 			return m.Result(), fmt.Errorf("sim: mission aborted at epoch %d: %w", m.Step(), err)
 		}
 		prev := m.CurAll()
+		var decideStart time.Time
+		if sp.Enabled() {
+			decideStart = time.Now()
+		}
 		for i := range acts {
 			acts[i] = p.Decide(m, i)
+		}
+		if sp.Enabled() {
+			sp.Event("decide",
+				trace.Int("epoch", int64(m.Step())),
+				trace.Float("dur_us", float64(time.Since(decideStart).Microseconds())))
 		}
 		r, err := m.ExecuteStep(acts)
 		if err != nil {
 			return Result{}, err
+		}
+		if sp.Enabled() {
+			// Epoch that was just executed (Step has advanced past it).
+			sp.Event("step",
+				trace.Int("epoch", int64(m.Step()-1)),
+				trace.Int("sensed", int64(m.TeamSensedCount())),
+				trace.String("actions", actionsString(acts)))
 		}
 		if learner != nil {
 			learner.Observe(m, prev, acts, r)
@@ -521,4 +589,17 @@ func RunContext(ctx context.Context, sc Scenario, p Planner, opts RunOptions) (R
 		}
 	}
 	return m.Result(), nil
+}
+
+// actionsString renders a joint action as "n1@s2|wait|n0@s1" — one
+// Action.String per asset, |-separated. ParseActions inverts it.
+func actionsString(acts []Action) string {
+	var b strings.Builder
+	for i, a := range acts {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(a.String())
+	}
+	return b.String()
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"github.com/routeplanning/mamorl/internal/graphalg"
 	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/trace"
 	"github.com/routeplanning/mamorl/internal/vessel"
 )
 
@@ -80,6 +81,11 @@ func (nv *Navigator) baseTree(m *Mission) *graphalg.ReverseTree {
 	}
 	t := graphalg.ReverseTreeAvoiding(m.Grid(), nv.target, avoid)
 	nv.trees[nv.target] = t
+	if m.span != nil {
+		m.span.Event("reroute",
+			trace.Int("step", int64(m.Step())),
+			trace.Int("target", int64(nv.target)))
+	}
 	return t
 }
 
@@ -101,6 +107,11 @@ func (nv *Navigator) detourTree(m *Mission, i int) (*graphalg.ReverseTree, bool)
 	})
 	nv.detour[i] = t
 	nv.detourSig[i] = snapshotBeliefs(sig[:0], know.LastKnown, i)
+	if m.span != nil {
+		m.span.Event("detour",
+			trace.Int("step", int64(m.Step())),
+			trace.Int("asset", int64(i)))
+	}
 	return t, fresh
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"github.com/routeplanning/mamorl/internal/graphalg"
 	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/trace"
 	"github.com/routeplanning/mamorl/internal/vessel"
 	"github.com/routeplanning/mamorl/internal/weather"
 )
@@ -133,6 +134,15 @@ type RunOptions struct {
 	// OnStep, when non-nil, observes every epoch after it is applied:
 	// the chosen joint action and the emitted reward vector.
 	OnStep func(m *Mission, acts []Action)
+	// Tracer, when non-nil, records the mission as a span with per-epoch
+	// decide/step events plus communicate/found/reroute/detour events —
+	// enough to replay the mission (see Replay). Tracing is pure
+	// observation: it never touches the planner, the RNG, or the result.
+	Tracer *trace.Tracer
+	// TraceParent, when non-nil, parents the mission span under an existing
+	// span (an experiment run, a TMPLAR request) instead of starting a new
+	// trace. Takes precedence over Tracer.
+	TraceParent *trace.Span
 }
 
 // Result summarizes a finished mission.

@@ -16,9 +16,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"github.com/routeplanning/mamorl/internal/partial"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/trace"
 	"github.com/routeplanning/mamorl/internal/vessel"
 	"github.com/routeplanning/mamorl/internal/weather"
 )
@@ -41,6 +43,7 @@ const (
 	DefaultPlanTimeout  = 30 * time.Second
 	DefaultMaxGridBytes = 32 << 20 // 32 MB
 	DefaultMaxPlanBytes = 1 << 20  // 1 MB
+	DefaultTraceBuffer  = 256
 )
 
 // Options tunes the serving behavior. The zero value selects the defaults
@@ -54,11 +57,14 @@ type Options struct {
 	// MaxPlanBytes caps the plan endpoints. <= 0 selects the defaults.
 	MaxGridBytes int64
 	MaxPlanBytes int64
-	// Logger receives one line per request (method, path, status, latency).
-	// nil disables request logging.
-	Logger *log.Logger
+	// Logger receives one structured record per request (method, path,
+	// status, latency, trace ID). nil disables request logging.
+	Logger *slog.Logger
 	// Metrics receives request/plan metrics; exposed at GET /metrics.
 	Metrics *obs.Registry
+	// TraceBuffer sizes the in-memory ring of recent request traces served
+	// at GET /debug/traces. <= 0 selects DefaultTraceBuffer.
+	TraceBuffer int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,16 +80,21 @@ func (o Options) withDefaults() Options {
 	if o.Metrics == nil {
 		o.Metrics = obs.New()
 	}
+	if o.TraceBuffer <= 0 {
+		o.TraceBuffer = DefaultTraceBuffer
+	}
 	return o
 }
 
 // Server is the TMPLAR-style planning service.
 type Server struct {
-	mu    sync.RWMutex
-	grids map[string]*grid.Grid
-	model *approx.LinearModel
-	pipe  *approx.Pipeline
-	opts  Options
+	mu     sync.RWMutex
+	grids  map[string]*grid.Grid
+	model  *approx.LinearModel
+	pipe   *approx.Pipeline
+	opts   Options
+	ring   *trace.Ring
+	tracer *trace.Tracer
 }
 
 // NewServer trains the Approx-MaMoRL model (Section 4.2's pipeline) and
@@ -94,7 +105,11 @@ func NewServer(seed int64) (*Server, error) {
 
 // NewServerOpts is NewServer with explicit serving options.
 func NewServerOpts(seed int64, opts Options) (*Server, error) {
-	pipe, err := approx.NewPipeline(approx.TrainConfig{Seed: seed})
+	opts = opts.withDefaults()
+	registerHelp(opts.Metrics)
+	ring := trace.NewRing(opts.TraceBuffer)
+	tracer := trace.New(ring, trace.NewHistogramSink(opts.Metrics))
+	pipe, err := approx.NewPipeline(approx.TrainConfig{Seed: seed, Tracer: tracer})
 	if err != nil {
 		return nil, fmt.Errorf("tmplar: training pipeline: %w", err)
 	}
@@ -103,11 +118,32 @@ func NewServerOpts(seed int64, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("tmplar: model fit: %w", err)
 	}
 	return &Server{
-		grids: make(map[string]*grid.Grid),
-		model: model,
-		pipe:  pipe,
-		opts:  opts.withDefaults(),
+		grids:  make(map[string]*grid.Grid),
+		model:  model,
+		pipe:   pipe,
+		opts:   opts,
+		ring:   ring,
+		tracer: tracer,
 	}, nil
+}
+
+// registerHelp documents the server's metric names for the Prometheus
+// exposition (# HELP lines).
+func registerHelp(m *obs.Registry) {
+	for name, help := range map[string]string{
+		"tmplar_http_requests_total":          "HTTP requests served, by endpoint and status.",
+		"tmplar_http_request_seconds":         "End-to-end HTTP request latency.",
+		"tmplar_inflight_requests":            "Requests currently being served.",
+		"tmplar_plan_seconds":                 "Planning (mission simulation) latency per request.",
+		"tmplar_plan_completed_total":         "Planning requests answered 200, by algorithm.",
+		"tmplar_plan_errors_total":            "Planning requests failed, by HTTP status.",
+		"tmplar_plan_deadline_exceeded_total": "Planning requests that ran out of deadline budget.",
+		"tmplar_plan_steps_total":             "Mission steps simulated across all completed plans.",
+		"tmplar_grids_installed_total":        "Grid registrations (uploads and programmatic installs).",
+		"trace_span_seconds":                  "Span durations from the request tracer, by span name.",
+	} {
+		m.SetHelp(name, help)
+	}
 }
 
 // Metrics returns the server's metrics registry (never nil).
@@ -142,6 +178,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/plan", s.handlePlanGlobal)
 	mux.HandleFunc("POST /api/plan/asset", s.handlePlanLocal)
 	mux.Handle("GET /metrics", obs.Handler(s.opts.Metrics))
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return s.instrument(recoverPanics(mux))
 }
 
@@ -190,26 +227,63 @@ func recoverPanics(next http.Handler) http.Handler {
 	})
 }
 
-// instrument records request count by endpoint/status, latency, and an
-// optional log line per request.
+// instrument opens the request span (whose trace ID is echoed back in the
+// X-Trace-Id header and stamped on the request log record), tracks in-flight
+// requests, and records request count by endpoint/status plus latency.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
+		inflight := s.opts.Metrics.Gauge("tmplar_inflight_requests")
+		inflight.Inc()
+		defer inflight.Dec()
+
+		endpoint := r.URL.Path
+		sp := s.tracer.Start("request",
+			trace.String("method", r.Method), trace.String("endpoint", endpoint))
+		if sp != nil {
+			// The trace ID reaches the client before the handler runs, so
+			// even a timed-out request can be found in /debug/traces.
+			w.Header().Set("X-Trace-Id", sp.TraceID.String())
+			r = r.WithContext(trace.ContextWithSpan(r.Context(), sp))
+		}
+
 		next.ServeHTTP(rec, r)
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
 		elapsed := time.Since(start)
-		endpoint := r.URL.Path
+		if sp != nil {
+			sp.SetAttrs(trace.Int("status", int64(rec.status)))
+			sp.End()
+		}
 		s.opts.Metrics.Counter("tmplar_http_requests_total",
 			"endpoint", endpoint, "status", fmt.Sprint(rec.status)).Inc()
 		s.opts.Metrics.Histogram("tmplar_http_request_seconds",
 			obs.DefaultLatencyBuckets, "endpoint", endpoint).Observe(elapsed.Seconds())
 		if s.opts.Logger != nil {
-			s.opts.Logger.Printf("%s %s -> %d (%v)", r.Method, endpoint, rec.status, elapsed)
+			s.opts.Logger.Info("request",
+				"method", r.Method, "path", endpoint, "status", rec.status,
+				"dur", elapsed, "trace", sp.TraceID.String())
 		}
 	})
+}
+
+// handleTraces serves the ring of recent completed spans as JSON, newest
+// last. ?n= limits the answer to the newest n spans.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	spans := s.ring.Snapshot()
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"n must be a non-negative integer"})
+			return
+		}
+		if n < len(spans) {
+			spans = spans[len(spans)-n:]
+		}
+	}
+	writeJSON(w, http.StatusOK, spans)
 }
 
 // --- Wire types --------------------------------------------------------------
@@ -508,8 +582,16 @@ func algoLabel(algo string) string {
 	return algo
 }
 
-// plan executes a mission for a request, aborting when ctx expires.
+// plan executes a mission for a request, aborting when ctx expires. The
+// mission span parents under the request span carried by ctx, so one trace
+// ID covers the request from HTTP edge to simulation.
 func (s *Server) plan(ctx context.Context, req PlanRequest) (*PlanResponse, int, error) {
+	sp := trace.SpanFromContext(ctx).Child("plan",
+		trace.String("grid", req.Grid),
+		trace.String("algorithm", algoLabel(req.Algorithm)),
+		trace.Int("assets", int64(len(req.Assets))))
+	defer sp.End()
+
 	g, ok := s.lookupGrid(req.Grid)
 	if !ok {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown grid %q", req.Grid)
@@ -607,12 +689,19 @@ func (s *Server) plan(ctx context.Context, req PlanRequest) (*PlanResponse, int,
 			routes[i].Fuel += leg.Fuel
 		}
 	}
-	res, err := sim.RunContext(ctx, sc, planner, sim.RunOptions{Collision: collision, OnStep: record})
+	res, err := sim.RunContext(ctx, sc, planner,
+		sim.RunOptions{Collision: collision, OnStep: record, TraceParent: sp})
 	if err != nil {
+		if sp.Enabled() {
+			sp.SetAttrs(trace.String("error", err.Error()))
+		}
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			return nil, http.StatusServiceUnavailable, err
 		}
 		return nil, http.StatusInternalServerError, err
+	}
+	if sp.Enabled() {
+		sp.SetAttrs(trace.Bool("found", res.Found), trace.Int("steps", int64(res.Steps)))
 	}
 	return &PlanResponse{
 		Found:      res.Found,

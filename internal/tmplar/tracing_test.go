@@ -1,0 +1,98 @@
+package tmplar
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/trace"
+)
+
+// planBody is a small valid plan request against the shared test grid.
+func planBody() PlanRequest {
+	return PlanRequest{
+		Grid:        "ops-area",
+		Assets:      []AssetSpec{{Source: 0, SensingRadius: 2, MaxSpeed: 3}},
+		Destination: 40,
+		Seed:        5,
+		MaxSteps:    200,
+	}
+}
+
+func TestTraceIDHeaderAndDebugTraces(t *testing.T) {
+	h := server(t).Handler()
+
+	rec := do(t, h, "POST", "/api/plan", planBody())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("plan: %d %s", rec.Code, rec.Body.String())
+	}
+	hdr := rec.Header().Get("X-Trace-Id")
+	if hdr == "" {
+		t.Fatal("no X-Trace-Id header on the plan response")
+	}
+	if _, err := trace.ParseTraceID(hdr); err != nil {
+		t.Fatalf("X-Trace-Id %q does not parse: %v", hdr, err)
+	}
+
+	// The completed request trace is served at /debug/traces: the request
+	// span plus its plan and mission children, all under the header's ID.
+	tr := do(t, h, "GET", "/debug/traces", nil)
+	if tr.Code != http.StatusOK {
+		t.Fatalf("debug/traces: %d %s", tr.Code, tr.Body.String())
+	}
+	var spans []*trace.Span
+	if err := json.Unmarshal(tr.Body.Bytes(), &spans); err != nil {
+		t.Fatalf("decode traces: %v", err)
+	}
+	names := map[string]bool{}
+	for _, s := range spans {
+		if s.TraceID.String() == hdr {
+			names[s.Name] = true
+			if s.Name == "plan" {
+				if a, ok := trace.GetAttr(s.Attrs, "algorithm"); !ok || a.Str() != "approx" {
+					t.Fatalf("plan span algorithm attr: %+v", s.Attrs)
+				}
+			}
+		}
+	}
+	for _, want := range []string{"request", "plan", "mission"} {
+		if !names[want] {
+			t.Fatalf("trace %s lacks a %q span; got %v", hdr, want, names)
+		}
+	}
+
+	// ?n= keeps only the newest n spans; a bad n is a 400.
+	one := do(t, h, "GET", "/debug/traces?n=1", nil)
+	var limited []*trace.Span
+	if err := json.Unmarshal(one.Body.Bytes(), &limited); err != nil || len(limited) != 1 {
+		t.Fatalf("n=1: %v %s", err, one.Body.String())
+	}
+	if bad := do(t, h, "GET", "/debug/traces?n=bogus", nil); bad.Code != http.StatusBadRequest {
+		t.Fatalf("n=bogus answered %d", bad.Code)
+	}
+}
+
+func TestRequestLogCarriesTraceID(t *testing.T) {
+	s := server(t)
+	// Swap in a captive structured logger; restore the shared server after.
+	saved := s.opts.Logger
+	defer func() { s.opts.Logger = saved }()
+	var buf bytes.Buffer
+	s.opts.Logger = slog.New(slog.NewTextHandler(&buf, nil))
+
+	rec := do(t, s.Handler(), "GET", "/healthz", nil)
+	id := rec.Header().Get("X-Trace-Id")
+	if id == "" {
+		t.Fatal("no X-Trace-Id header")
+	}
+	line := buf.String()
+	if !strings.Contains(line, "trace="+id) {
+		t.Fatalf("log record lacks trace ID %s: %q", id, line)
+	}
+	if !strings.Contains(line, "path=/healthz") || !strings.Contains(line, "status=200") {
+		t.Fatalf("log record incomplete: %q", line)
+	}
+}

@@ -1,0 +1,34 @@
+package trace
+
+import "github.com/routeplanning/mamorl/internal/obs"
+
+// HistogramSink aggregates span durations into an obs registry: one
+// histogram per span name, labeled span=<name>. This is the bridge between
+// the trace layer and the /metrics surface — dashboards see latency
+// distributions of missions, runs and requests without storing any spans.
+type HistogramSink struct {
+	Registry *obs.Registry
+	// Name is the metric name; empty selects "trace_span_seconds".
+	Name string
+	// Bounds are the histogram buckets; nil selects
+	// obs.DefaultLatencyBuckets.
+	Bounds []float64
+}
+
+// NewHistogramSink aggregates into r under the default metric name.
+func NewHistogramSink(r *obs.Registry) *HistogramSink {
+	return &HistogramSink{Registry: r}
+}
+
+// Emit implements Sink.
+func (h *HistogramSink) Emit(s *Span) {
+	name := h.Name
+	if name == "" {
+		name = "trace_span_seconds"
+	}
+	bounds := h.Bounds
+	if bounds == nil {
+		bounds = obs.DefaultLatencyBuckets
+	}
+	h.Registry.Histogram(name, bounds, "span", s.Name).Observe(s.Dur.Seconds())
+}

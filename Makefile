@@ -1,13 +1,21 @@
 GO ?= go
 BENCH_OUT ?= BENCH_3.json
+# bench-compare inputs: the stored baseline and the report to vet against it.
+BENCH_OLD ?= BENCH_2.json
+BENCH_NEW ?= $(BENCH_OUT)
+BENCH_THRESHOLD ?= 15
 
-.PHONY: build vet test race race-exec check bench
+.PHONY: build vet fmt-check test race race-exec check bench bench-compare
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails when any file is not gofmt-clean (prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -16,15 +24,21 @@ race:
 	$(GO) test -race ./internal/... .
 
 # race-exec focuses the detector on the parallel experiment executor, the
-# simulator it fans out over, and the lock-free trace ring they emit into
-# (the packages with real concurrency).
+# simulator it fans out over, the lock-free trace ring they emit into, and
+# the metrics sampler/SSE fan-out (the packages with real concurrency).
 race-exec:
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/... ./internal/obs/...
 
 # check is what CI runs (.github/workflows/ci.yml).
-check: build vet test race
+check: build vet fmt-check test race
 
 # bench runs the full suite and writes a machine-readable report (ns/op,
 # B/op, allocs/op and every custom metric) to $(BENCH_OUT).
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+# bench-compare diffs two bench reports and fails on ns/op regressions
+# beyond $(BENCH_THRESHOLD) percent:
+#   make bench-compare BENCH_OLD=BENCH_2.json BENCH_NEW=BENCH_3.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)

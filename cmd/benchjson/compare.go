@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// benchDelta is the comparison of one benchmark across two reports.
+type benchDelta struct {
+	Name string
+	// OldNs/NewNs are ns/op; OldAllocs/NewAllocs are allocs/op. A metric
+	// absent from either report leaves the pair at NaN-free zero and the
+	// delta unset (has* false).
+	OldNs, NewNs          float64
+	OldAllocs, NewAllocs  float64
+	hasNs, hasAllocs      bool
+	NsDeltaPct, AllocsPct float64
+}
+
+// loadReport reads a benchjson -o report file.
+func loadReport(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// pct is the relative change from old to new, in percent. A zero old value
+// has no meaningful ratio; report 0 so a 0→0 metric never trips thresholds.
+func pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+// compareReports matches benchmarks by name (a benchmark appearing in only
+// one report is skipped — it has nothing to regress against) and computes
+// per-benchmark ns/op and allocs/op deltas, name-sorted.
+func compareReports(oldRep, newRep Report) []benchDelta {
+	oldByName := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	var out []benchDelta
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			continue
+		}
+		d := benchDelta{Name: nb.Name}
+		if oldNs, ok1 := ob.Metrics["ns/op"]; ok1 {
+			if newNs, ok2 := nb.Metrics["ns/op"]; ok2 {
+				d.OldNs, d.NewNs, d.hasNs = oldNs, newNs, true
+				d.NsDeltaPct = pct(oldNs, newNs)
+			}
+		}
+		if oldA, ok1 := ob.Metrics["allocs/op"]; ok1 {
+			if newA, ok2 := nb.Metrics["allocs/op"]; ok2 {
+				d.OldAllocs, d.NewAllocs, d.hasAllocs = oldA, newA, true
+				d.AllocsPct = pct(oldA, newA)
+			}
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// countRegressions counts deltas whose ns/op worsened beyond threshold
+// percent. Alloc growth alone is reported but does not trip the gate: alloc
+// counts are exact and a deliberate +1 on a tiny benchmark would read as a
+// huge percentage.
+func countRegressions(deltas []benchDelta, threshold float64) int {
+	n := 0
+	for _, d := range deltas {
+		if d.hasNs && d.NsDeltaPct > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// writeCompare renders the delta table.
+func writeCompare(w io.Writer, deltas []benchDelta, threshold float64) {
+	fmt.Fprintf(w, "%-40s %14s %14s %9s %12s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns/op", "allocs/op", "Δallocs")
+	for _, d := range deltas {
+		mark := " "
+		if d.hasNs && d.NsDeltaPct > threshold {
+			mark = "!"
+		}
+		ns, allocs, dNs, dAllocs := "-", "-", "-", "-"
+		oldNs := "-"
+		if d.hasNs {
+			oldNs = fmt.Sprintf("%.1f", d.OldNs)
+			ns = fmt.Sprintf("%.1f", d.NewNs)
+			dNs = fmt.Sprintf("%+.1f%%", d.NsDeltaPct)
+		}
+		if d.hasAllocs {
+			allocs = fmt.Sprintf("%.0f→%.0f", d.OldAllocs, d.NewAllocs)
+			dAllocs = fmt.Sprintf("%+.1f%%", d.AllocsPct)
+		}
+		fmt.Fprintf(w, "%-40s %14s %14s %9s %12s %9s %s\n",
+			d.Name, oldNs, ns, dNs, allocs, dAllocs, mark)
+	}
+}
+
+// runCompare loads both reports, prints the delta table, and returns how
+// many benchmarks regressed beyond the threshold.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+	deltas := compareReports(oldRep, newRep)
+	if len(deltas) == 0 {
+		fmt.Fprintln(w, "no common benchmarks between the two reports")
+		return 0, nil
+	}
+	writeCompare(w, deltas, threshold)
+	return countRegressions(deltas, threshold), nil
+}

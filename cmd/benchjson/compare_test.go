@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func reportFixture(ns map[string]float64, allocs map[string]float64) Report {
+	var rep Report
+	for name, v := range ns {
+		b := Benchmark{Name: name, Iterations: 100, Metrics: map[string]float64{"ns/op": v}}
+		if a, ok := allocs[name]; ok {
+			b.Metrics["allocs/op"] = a
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep
+}
+
+func TestCompareReports(t *testing.T) {
+	oldRep := reportFixture(
+		map[string]float64{"Plan": 1000, "Train": 500, "Gone": 10},
+		map[string]float64{"Plan": 10},
+	)
+	newRep := reportFixture(
+		map[string]float64{"Plan": 1300, "Train": 450, "Fresh": 5},
+		map[string]float64{"Plan": 12},
+	)
+	deltas := compareReports(oldRep, newRep)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2 (Gone and Fresh have no counterpart)", len(deltas))
+	}
+	// Name-sorted: Plan then Train.
+	if deltas[0].Name != "Plan" || deltas[1].Name != "Train" {
+		t.Fatalf("order: %s, %s", deltas[0].Name, deltas[1].Name)
+	}
+	if got := deltas[0].NsDeltaPct; got < 29.9 || got > 30.1 {
+		t.Errorf("Plan Δns = %v%%, want ~+30%%", got)
+	}
+	if got := deltas[0].AllocsPct; got < 19.9 || got > 20.1 {
+		t.Errorf("Plan Δallocs = %v%%, want ~+20%%", got)
+	}
+	if got := deltas[1].NsDeltaPct; got > -9.9 || got < -10.1 {
+		t.Errorf("Train Δns = %v%%, want ~-10%%", got)
+	}
+
+	if n := countRegressions(deltas, 15); n != 1 {
+		t.Errorf("regressions at 15%% = %d, want 1 (only Plan)", n)
+	}
+	if n := countRegressions(deltas, 50); n != 0 {
+		t.Errorf("regressions at 50%% = %d, want 0", n)
+	}
+	// Alloc growth alone never trips the gate.
+	allocOnly := compareReports(
+		reportFixture(map[string]float64{"X": 100}, map[string]float64{"X": 1}),
+		reportFixture(map[string]float64{"X": 100}, map[string]float64{"X": 5}),
+	)
+	if n := countRegressions(allocOnly, 15); n != 0 {
+		t.Errorf("alloc-only change tripped the ns/op gate: %d", n)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := pct(100, 130); got != 30 {
+		t.Errorf("pct(100,130) = %v", got)
+	}
+	if got := pct(0, 5); got != 0 {
+		t.Errorf("pct from zero = %v, want 0 (no meaningful ratio)", got)
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", reportFixture(
+		map[string]float64{"Plan": 1000}, map[string]float64{"Plan": 3}))
+	newPath := writeReport(t, dir, "new.json", reportFixture(
+		map[string]float64{"Plan": 1300}, map[string]float64{"Plan": 3}))
+
+	var out strings.Builder
+	n, err := runCompare(&out, oldPath, newPath, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("regressions = %d, want 1", n)
+	}
+	if !strings.Contains(out.String(), "Plan") || !strings.Contains(out.String(), "+30.0%") {
+		t.Errorf("table output:\n%s", out.String())
+	}
+
+	// A generous threshold passes the same pair.
+	out.Reset()
+	if n, err := runCompare(&out, oldPath, newPath, 50); err != nil || n != 0 {
+		t.Errorf("threshold 50: n=%d err=%v", n, err)
+	}
+
+	// Missing file surfaces as an error, not a panic.
+	if _, err := runCompare(&out, filepath.Join(dir, "absent.json"), newPath, 15); err == nil {
+		t.Error("missing old report not rejected")
+	}
+	// Disjoint reports: no common benchmarks, no regressions.
+	otherPath := writeReport(t, dir, "other.json", reportFixture(map[string]float64{"Else": 1}, nil))
+	out.Reset()
+	if n, err := runCompare(&out, oldPath, otherPath, 15); err != nil || n != 0 {
+		t.Errorf("disjoint: n=%d err=%v", n, err)
+	}
+	if !strings.Contains(out.String(), "no common benchmarks") {
+		t.Errorf("disjoint output: %s", out.String())
+	}
+}

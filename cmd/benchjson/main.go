@@ -6,10 +6,17 @@
 // Usage:
 //
 //	go test -bench=. -benchmem | benchjson -o BENCH.json
+//	benchjson -compare old.json new.json
+//	benchjson -compare -threshold 10 old.json new.json
 //
 // Each "BenchmarkName-P  N  v1 unit1  v2 unit2 ..." line becomes one entry
 // with every reported metric keyed by its unit (ns/op, B/op, allocs/op and
 // any b.ReportMetric custom units).
+//
+// In -compare mode the command diffs two reports instead: for every
+// benchmark present in both files it prints the ns/op and allocs/op deltas,
+// and exits nonzero when any ns/op regression exceeds -threshold percent —
+// a CI tripwire against silent performance drift.
 package main
 
 import (
@@ -41,8 +48,25 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("o", "", "output JSON file (required)")
+	out := flag.String("o", "", "output JSON file (required unless -compare)")
+	compare := flag.Bool("compare", false, "compare two report files: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 15, "with -compare, exit nonzero when any ns/op regression exceeds this percentage")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("benchjson: -compare wants exactly two arguments: old.json new.json")
+		}
+		regressions, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%\n", regressions, *threshold)
+			os.Exit(1)
+		}
+		return
+	}
 	if *out == "" {
 		log.Fatal("benchjson: -o file is required")
 	}

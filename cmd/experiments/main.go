@@ -9,6 +9,8 @@
 //	experiments -only table6,fig4   # a subset
 //	experiments -paperscale         # full 10-run averaging, full sweeps
 //	experiments -trace-out t.jsonl  # also record span traces of every run
+//	experiments -dash :6061         # live dashboard at http://localhost:6061/debug/dash
+//	experiments -curves-out c.csv   # per-episode learning curves (.json for JSON)
 //
 // On a terminal the suite shows a live progress line ([table6] 37/120 runs
 // 4.1 runs/s  ETA 20s) on stderr; -quiet suppresses it.
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -57,6 +60,8 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceOut   = flag.String("trace-out", "", "write completed spans (cells, runs, missions) as JSONL to this file")
 		metricsOut = flag.String("metrics-out", "", "write the suite's metrics in Prometheus text format to this file on exit")
+		curvesOut  = flag.String("curves-out", "", "write per-episode learning curves to this file (.json for JSON, else CSV)")
+		dashAddr   = flag.String("dash", "", "serve the live dashboard (/debug/dash, /debug/metrics/stream, /metrics) on this address; disabled when empty")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		quiet      = flag.Bool("quiet", false, "suppress the live progress line")
 	)
@@ -176,6 +181,53 @@ func main() {
 		}()
 	}
 
+	// Learning-curve telemetry: per-episode Q-learning signals plus model fit
+	// losses. The recorder also mirrors onto the metrics registry, so the
+	// dashboard shows the training curve live even without -curves-out.
+	var curves *experiments.CurveRecorder
+	if *curvesOut != "" || *dashAddr != "" {
+		curves = experiments.NewCurveRecorder(metrics)
+	}
+	if *curvesOut != "" {
+		defer func() {
+			f, err := os.Create(*curvesOut)
+			if err != nil {
+				logger.Error("curves-out", "err", err)
+				return
+			}
+			defer f.Close()
+			recs := curves.Records()
+			if err := experiments.WriteCurvesFile(f, *curvesOut, recs); err != nil {
+				logger.Error("curves-out", "err", err)
+				return
+			}
+			logger.Info("wrote learning curves", "path", *curvesOut, "records", len(recs))
+		}()
+	}
+
+	// The live ops plane: a sampler over the suite's registry (plus Go
+	// runtime telemetry) feeding an SSE stream and the self-contained HTML
+	// dashboard. Pure observation — suite results are identical either way.
+	if *dashAddr != "" {
+		rc := obs.NewRuntimeCollector(metrics)
+		sampler := obs.NewSampler(metrics, obs.SamplerOptions{OnTick: []func(){rc.Collect}})
+		mux := http.NewServeMux()
+		mux.Handle("GET /debug/dash", obs.DashHandler("/debug/metrics/stream"))
+		mux.Handle("GET /debug/metrics/stream", obs.StreamHandler(sampler))
+		mux.Handle("GET /metrics", obs.Handler(metrics))
+		dashSrv := &http.Server{Addr: *dashAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("dashboard listening", "addr", *dashAddr, "path", "/debug/dash")
+			if err := dashSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("dashboard", "err", err)
+			}
+		}()
+		defer dashSrv.Close()
+		sampleCtx, stopSampler := context.WithCancel(context.Background())
+		defer stopSampler()
+		go sampler.Run(sampleCtx)
+	}
+
 	// The live progress line goes to stderr only when it is a terminal:
 	// redirected logs see one status line per repaint otherwise.
 	var progress *experiments.Progress
@@ -216,11 +268,16 @@ func main() {
 	var h *experiments.Harness
 	if needHarness {
 		logger.Info("training Approx-MaMoRL (Section 4.2 pipeline)")
+		cfg := approx.TrainConfig{Seed: *seed, Tracer: tracer}
+		if curves != nil {
+			cfg.OnEpisode = curves.OnEpisode
+		}
 		var err error
-		h, err = experiments.NewHarness(approx.TrainConfig{Seed: *seed, Tracer: tracer})
+		h, err = experiments.NewHarness(cfg)
 		if err != nil {
 			fatalf("harness: %v", err)
 		}
+		curves.RecordHarnessFits(h)
 	}
 
 	if run("table6") {
@@ -251,6 +308,7 @@ func main() {
 		if err != nil {
 			fail("figure 3", err)
 		}
+		curves.RecordFigure3Fits(r)
 		fmt.Println("=== Figure 3 ===")
 		fmt.Print(experiments.FormatFigure3(r))
 	}

@@ -9,13 +9,17 @@
 //
 // Endpoints:
 //
-//	GET  /healthz          liveness
-//	GET  /metrics          metrics (Prometheus text; ?format=json for JSON)
-//	GET  /debug/traces     recent request traces (ring buffer, JSON; ?n= limit)
-//	GET  /api/grids        registered grids (name-sorted)
-//	POST /api/grids        upload a grid (JSON, gridgen format)
-//	POST /api/plan         global view: plan all assets of a mission
-//	POST /api/plan/asset   local view: plan a single asset
+//	GET  /healthz               liveness
+//	GET  /readyz                readiness (503 until a grid and the model are loaded)
+//	GET  /version               binary build info (module version, Go version, VCS)
+//	GET  /metrics               metrics (Prometheus text; ?format=json for JSON)
+//	GET  /debug/traces          recent request traces (ring buffer, JSON; ?n= limit)
+//	GET  /debug/dash            self-contained live dashboard (HTML, no external assets)
+//	GET  /debug/metrics/stream  time-series samples over SSE (feeds the dashboard)
+//	GET  /api/grids             registered grids (name-sorted)
+//	POST /api/grids             upload a grid (JSON, gridgen format)
+//	POST /api/plan              global view: plan all assets of a mission
+//	POST /api/plan/asset        local view: plan a single asset
 //
 // The server answers 503 with a JSON error when a plan exceeds the
 // -plan-timeout deadline, 413 when a body exceeds the -max-grid-bytes /
@@ -67,8 +71,17 @@ func main() {
 		quiet       = flag.Bool("quiet", false, "disable per-request logging")
 		drain       = flag.Duration("drain", 35*time.Second, "graceful-shutdown drain budget")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); disabled when empty")
+		sampleEvery = flag.Duration("sample-interval", 2*time.Second, "metrics sampler tick feeding /debug/dash")
+		version     = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		bi := mamorl.ReadBuildInfo()
+		fmt.Printf("tmplard %s (go %s, rev %s, built %s, modified %v)\n",
+			bi.Version, bi.GoVersion, bi.Revision, bi.BuildTime, bi.Modified)
+		return
+	}
 
 	logger, err := newLogger(*logFormat)
 	if err != nil {
@@ -84,13 +97,19 @@ func main() {
 		reqLogger = nil
 	}
 
+	bi := mamorl.ReadBuildInfo()
+	logger.Info("tmplard starting",
+		"version", bi.Version, "go", bi.GoVersion,
+		"revision", bi.Revision, "modified", bi.Modified)
+
 	logger.Info("training Approx-MaMoRL model", "seed", *seed)
 	srv, err := mamorl.NewTMPLARServerOpts(*seed, mamorl.TMPLAROptions{
-		PlanTimeout:  *planTimeout,
-		MaxGridBytes: *maxGrid,
-		MaxPlanBytes: *maxPlan,
-		TraceBuffer:  *traceBuf,
-		Logger:       reqLogger,
+		PlanTimeout:    *planTimeout,
+		MaxGridBytes:   *maxGrid,
+		MaxPlanBytes:   *maxPlan,
+		TraceBuffer:    *traceBuf,
+		Logger:         reqLogger,
+		SampleInterval: *sampleEvery,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -145,6 +164,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// Tick the time-series sampler so /debug/dash and /debug/metrics/stream
+	// are live; it stops with the signal context during shutdown.
+	go srv.Sampler().Run(ctx)
 
 	errc := make(chan error, 1)
 	go func() {

@@ -60,6 +60,12 @@ func FitLinear(data *TrainingData) (*LinearModel, time.Duration, error) {
 	return &LinearModel{TMM: tmm, LM: lm}, time.Since(start), nil
 }
 
+// FitLoss reports the pair's mean squared error on the training samples —
+// the "fit loss" entry of the learning-curve export.
+func (m *LinearModel) FitLoss(data *TrainingData) (tmm, lm float64) {
+	return m.TMM.MSE(data.TMMX, data.TMMY), m.LM.MSE(data.LMX, data.LMY)
+}
+
 // linearModelFile is the on-disk JSON form of a LinearModel — the entire
 // deployable planner state (a few hundred bytes, as Table 6 reports).
 type linearModelFile struct {
@@ -145,6 +151,11 @@ func FitNeural(data *TrainingData, opts neural.TrainOptions, seed int64) (*Neura
 		return nil, 0, fmt.Errorf("approx: LM net: %w", err)
 	}
 	return &NeuralModel{TMM: tmm, LM: lm}, time.Since(start), nil
+}
+
+// FitLoss reports the pair's mean squared error on the training samples.
+func (m *NeuralModel) FitLoss(data *TrainingData) (tmm, lm float64) {
+	return m.TMM.MSE(data.TMMX, wrap(data.TMMY)), m.LM.MSE(data.LMX, wrap(data.LMY))
 }
 
 // wrap lifts a scalar target slice into the row-per-sample shape the

@@ -49,6 +49,10 @@ type TrainConfig struct {
 	// and is propagated to the exact solver (per-episode training spans) and
 	// the sample collector (per-episode sampling spans).
 	Tracer *trace.Tracer
+	// OnEpisode, when non-nil, receives the exact solver's per-episode
+	// learning-curve records (core.EpisodeStats). Pure observation, like
+	// Tracer.
+	OnEpisode func(core.EpisodeStats)
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -121,6 +125,9 @@ func NewPipeline(cfg TrainConfig) (*Pipeline, error) {
 	coreCfg := cfg.Core
 	coreCfg.Seed = cfg.Seed
 	coreCfg.Tracer = cfg.Tracer
+	if cfg.OnEpisode != nil {
+		coreCfg.OnEpisode = cfg.OnEpisode
+	}
 	exact, err := core.NewPlanner(sc, coreCfg, cfg.Weights)
 	if err != nil {
 		return nil, fmt.Errorf("approx: exact solver: %w", err)

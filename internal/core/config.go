@@ -51,6 +51,25 @@ type Config struct {
 	// the episode's mission span nested under it. Not a hyperparameter:
 	// tracing never influences learning.
 	Tracer *trace.Tracer
+	// OnEpisode, when non-nil, receives one EpisodeStats per training
+	// episode as it completes — the learning-curve telemetry the
+	// experiments suite exports and streams. Like Tracer, it is pure
+	// observation: the callback can never influence learning.
+	OnEpisode func(EpisodeStats)
+}
+
+// EpisodeStats is the learning-curve record of one training episode: the
+// exploration rate in force, the scalarized joint reward accumulated over
+// the episode, the cumulative and maximum per-update |ΔQ| (the convergence
+// signals — a shrinking max ΔQ is what "the Q function settled" means),
+// and the episode's mission length.
+type EpisodeStats struct {
+	Episode   int
+	Epsilon   float64
+	Reward    float64
+	QDelta    float64
+	MaxQDelta float64
+	Steps     int
 }
 
 // Default hyperparameter values (Section 3.2's worked example and Table 4).

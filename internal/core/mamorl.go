@@ -53,12 +53,14 @@ type Planner struct {
 	lastSensed map[int]int
 	stall      map[int]int
 
-	// epReward/epQDelta accumulate the scalarized joint reward and the total
-	// |ΔQ| applied since the last episode boundary; Train resets them per
-	// episode and stamps them on the episode span. Observation only — they
+	// epReward/epQDelta/epMaxQDelta accumulate the scalarized joint reward
+	// and the total and maximum per-update |ΔQ| applied since the last
+	// episode boundary; Train resets them per episode and stamps them on
+	// the episode span and the OnEpisode record. Observation only — they
 	// never feed back into learning.
-	epReward float64
-	epQDelta float64
+	epReward    float64
+	epQDelta    float64
+	epMaxQDelta float64
 }
 
 // stallPatience mirrors the approximate planner's watchdog bound.
@@ -434,7 +436,11 @@ func (pl *Planner) Observe(m *sim.Mission, prev []grid.NodeID, acts []sim.Action
 			rc := rewardComponent(r, c)
 			next := (1-pl.cfg.Alpha)*old + pl.cfg.Alpha*(rc+pl.cfg.Gamma*maxQ)
 			q.set(sKey, aKey, next)
-			pl.epQDelta += math.Abs(next - old)
+			d := math.Abs(next - old)
+			pl.epQDelta += d
+			if d > pl.epMaxQDelta {
+				pl.epMaxQDelta = d
+			}
 		}
 	}
 	for c := 0; c < NumRewardComponents; c++ {
@@ -452,7 +458,7 @@ func (pl *Planner) Train() error {
 		sp := pl.cfg.Tracer.Start("train.episode",
 			trace.Int("episode", int64(ep)),
 			trace.Float("epsilon", pl.cfg.Epsilon))
-		pl.epReward, pl.epQDelta = 0, 0
+		pl.epReward, pl.epQDelta, pl.epMaxQDelta = 0, 0, 0
 		res, err := sim.Run(pl.sc, pl, sim.RunOptions{Collision: sim.RecordCollisions, TraceParent: sp})
 		if err != nil {
 			sp.End()
@@ -464,6 +470,16 @@ func (pl *Planner) Train() error {
 				trace.Float("q_delta", pl.epQDelta),
 				trace.Int("steps", int64(res.Steps)))
 			sp.End()
+		}
+		if pl.cfg.OnEpisode != nil {
+			pl.cfg.OnEpisode(EpisodeStats{
+				Episode:   ep,
+				Epsilon:   pl.cfg.Epsilon,
+				Reward:    pl.epReward,
+				QDelta:    pl.epQDelta,
+				MaxQDelta: pl.epMaxQDelta,
+				Steps:     res.Steps,
+			})
 		}
 	}
 	return nil

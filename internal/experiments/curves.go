@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/routeplanning/mamorl/internal/core"
+	"github.com/routeplanning/mamorl/internal/obs"
+)
+
+// CurveRecord is one learning-curve entry. Training convergence is the
+// quantity the paper's whole exact-vs-approximate tradeoff rests on
+// (Section 4.2 trains exact MaMoRL per episode and fits the approximations
+// to its samples), so the suite records it as a first-class artifact:
+// Kind "episode" rows carry the exact solver's per-episode Q-learning
+// signals, Kind "fit" rows carry the regression/NN training loss.
+type CurveRecord struct {
+	// Model identifies the learner: "exact" for Q-learning episodes,
+	// "linreg-tmm"/"linreg-lm"/"nn-tmm"/"nn-lm" for fits.
+	Model string `json:"model"`
+	// Kind is "episode" or "fit".
+	Kind      string  `json:"kind"`
+	Episode   int     `json:"episode"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+	Reward    float64 `json:"reward,omitempty"`
+	QDelta    float64 `json:"q_delta,omitempty"`
+	MaxQDelta float64 `json:"max_q_delta,omitempty"`
+	Steps     int     `json:"steps,omitempty"`
+	FitLoss   float64 `json:"fit_loss,omitempty"`
+}
+
+// CurveRecorder accumulates learning-curve records and mirrors the latest
+// episode onto obs gauges, so a live dashboard shows convergence while
+// training runs. Hand OnEpisode to core.Config.OnEpisode (or
+// approx.TrainConfig.OnEpisode). Safe for concurrent use; recording is
+// pure observation and never feeds back into training.
+type CurveRecorder struct {
+	mu      sync.Mutex
+	records []CurveRecord
+	metrics *obs.Registry
+}
+
+// NewCurveRecorder builds a recorder; m may be nil to record without
+// streaming gauges.
+func NewCurveRecorder(m *obs.Registry) *CurveRecorder {
+	if m != nil {
+		m.SetHelp("train_episodes_total", "Training episodes completed, by model.")
+		m.SetHelp("train_episode_reward", "Scalarized joint reward of the latest training episode.")
+		m.SetHelp("train_episode_q_delta", "Cumulative |ΔQ| of the latest training episode.")
+		m.SetHelp("train_episode_max_q_delta", "Maximum per-update |ΔQ| of the latest training episode.")
+		m.SetHelp("train_fit_loss", "Training MSE of a fitted approximation, by model.")
+	}
+	return &CurveRecorder{metrics: m}
+}
+
+// OnEpisode records one exact-training episode. It has the signature of
+// core.Config.OnEpisode.
+func (c *CurveRecorder) OnEpisode(st core.EpisodeStats) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.records = append(c.records, CurveRecord{
+		Model: "exact", Kind: "episode",
+		Episode: st.Episode, Epsilon: st.Epsilon, Reward: st.Reward,
+		QDelta: st.QDelta, MaxQDelta: st.MaxQDelta, Steps: st.Steps,
+	})
+	c.mu.Unlock()
+	if c.metrics != nil {
+		c.metrics.Counter("train_episodes_total", "model", "exact").Inc()
+		c.metrics.Gauge("train_episode_reward").Set(st.Reward)
+		c.metrics.Gauge("train_episode_q_delta").Set(st.QDelta)
+		c.metrics.Gauge("train_episode_max_q_delta").Set(st.MaxQDelta)
+	}
+}
+
+// RecordFit records one fitted approximation's training loss.
+func (c *CurveRecorder) RecordFit(model string, loss float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.records = append(c.records, CurveRecord{Model: model, Kind: "fit", FitLoss: loss})
+	c.mu.Unlock()
+	if c.metrics != nil {
+		c.metrics.Gauge("train_fit_loss", "model", model).Set(loss)
+	}
+}
+
+// Records returns a copy of everything recorded so far, in order.
+func (c *CurveRecorder) Records() []CurveRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]CurveRecord(nil), c.records...)
+}
+
+// WriteCurvesCSV writes records as CSV with a header row.
+func WriteCurvesCSV(w io.Writer, recs []CurveRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"model", "kind", "episode", "epsilon", "reward", "q_delta", "max_q_delta", "steps", "fit_loss",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range recs {
+		if err := cw.Write([]string{
+			r.Model, r.Kind, strconv.Itoa(r.Episode), f(r.Epsilon), f(r.Reward),
+			f(r.QDelta), f(r.MaxQDelta), strconv.Itoa(r.Steps), f(r.FitLoss),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCurvesJSON writes records as one JSON array.
+func WriteCurvesJSON(w io.Writer, recs []CurveRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if recs == nil {
+		recs = []CurveRecord{}
+	}
+	return enc.Encode(recs)
+}
+
+// RecordHarnessFits records the harness's linear-model training losses
+// (and, given a Figure 3 result, the neural ones via RecordFigure3Fits).
+func (c *CurveRecorder) RecordHarnessFits(h *Harness) {
+	if c == nil || h == nil || h.Linear == nil || h.Pipe == nil {
+		return
+	}
+	tmm, lm := h.Linear.FitLoss(h.Pipe.Data)
+	c.RecordFit("linreg-tmm", tmm)
+	c.RecordFit("linreg-lm", lm)
+}
+
+// RecordFigure3Fits records the neural pair's training losses from a
+// completed Figure 3 run.
+func (c *CurveRecorder) RecordFigure3Fits(r Figure3Result) {
+	if c == nil {
+		return
+	}
+	c.RecordFit("nn-tmm", r.NeuralTMMLoss)
+	c.RecordFit("nn-lm", r.NeuralLMLoss)
+}
+
+// WriteCurvesFile picks the format from the output path: ".json" selects
+// JSON, anything else CSV.
+func WriteCurvesFile(w io.Writer, path string, recs []CurveRecord) error {
+	if strings.HasSuffix(path, ".json") {
+		return WriteCurvesJSON(w, recs)
+	}
+	return WriteCurvesCSV(w, recs)
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/approx"
+	"github.com/routeplanning/mamorl/internal/core"
+	"github.com/routeplanning/mamorl/internal/neural"
+	"github.com/routeplanning/mamorl/internal/obs"
+)
+
+// curveHarnessConfig is the small training pipeline the curve tests share.
+func curveHarnessConfig() approx.TrainConfig {
+	return approx.TrainConfig{
+		GridNodes: 30, GridEdges: 55, SampleEpisodes: 2,
+		Core: core.Config{Episodes: 4},
+	}
+}
+
+// TestCurveRecorderCapturesEpisodes trains a small exact pipeline with the
+// recorder attached and checks the acceptance contract: one record per
+// training episode, plus the fitted models' losses.
+func TestCurveRecorderCapturesEpisodes(t *testing.T) {
+	m := obs.New()
+	rec := NewCurveRecorder(m)
+	cfg := curveHarnessConfig()
+	cfg.OnEpisode = rec.OnEpisode
+	h, err := NewHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.RecordHarnessFits(h)
+
+	recs := rec.Records()
+	var episodes, fits int
+	for i, r := range recs {
+		switch r.Kind {
+		case "episode":
+			if r.Model != "exact" {
+				t.Errorf("episode record model = %q", r.Model)
+			}
+			if r.Episode != episodes {
+				t.Errorf("record %d: episode = %d, want %d (one per episode, in order)", i, r.Episode, episodes)
+			}
+			if r.Steps <= 0 {
+				t.Errorf("episode %d: steps = %d, want > 0", r.Episode, r.Steps)
+			}
+			if r.Epsilon <= 0 || r.Epsilon > 1 {
+				t.Errorf("episode %d: epsilon = %v", r.Episode, r.Epsilon)
+			}
+			episodes++
+		case "fit":
+			if r.FitLoss < 0 {
+				t.Errorf("fit %q: negative loss %v", r.Model, r.FitLoss)
+			}
+			fits++
+		default:
+			t.Errorf("unknown record kind %q", r.Kind)
+		}
+	}
+	if episodes != 4 {
+		t.Errorf("episode records = %d, want one per training episode (4)", episodes)
+	}
+	if fits != 2 {
+		t.Errorf("fit records = %d, want linreg-tmm and linreg-lm", fits)
+	}
+
+	// The registry mirrors: counter at episode count, gauges at last values.
+	if got := m.CounterValue("train_episodes_total", "model", "exact"); got != 4 {
+		t.Errorf("train_episodes_total = %d, want 4", got)
+	}
+	if got := m.GaugeValue("train_fit_loss", "model", "linreg-tmm"); got < 0 {
+		t.Errorf("train_fit_loss gauge = %v", got)
+	}
+
+	// Q-learning must actually move values in episode 0.
+	if recs[0].QDelta <= 0 || recs[0].MaxQDelta <= 0 {
+		t.Errorf("episode 0: q_delta=%v max=%v, want > 0", recs[0].QDelta, recs[0].MaxQDelta)
+	}
+	if recs[0].MaxQDelta > recs[0].QDelta {
+		t.Errorf("max |ΔQ| %v exceeds cumulative %v", recs[0].MaxQDelta, recs[0].QDelta)
+	}
+}
+
+// TestOnEpisodeDeterminism pins that attaching the episode hook does not
+// change training: two pipelines from the same seed, one observed and one
+// not, produce byte-identical models.
+func TestOnEpisodeDeterminism(t *testing.T) {
+	plainCfg := curveHarnessConfig()
+	plainCfg.Seed = 11
+	plain, err := NewHarness(plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := NewCurveRecorder(nil)
+	obsCfg := curveHarnessConfig()
+	obsCfg.Seed = 11
+	obsCfg.OnEpisode = rec.OnEpisode
+	observed, err := NewHarness(obsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Linear.TMM, observed.Linear.TMM) ||
+		!reflect.DeepEqual(plain.Linear.LM, observed.Linear.LM) {
+		t.Fatal("fitted models diverged under episode observation")
+	}
+	if len(rec.Records()) != 4 {
+		t.Fatalf("records = %d, want 4", len(rec.Records()))
+	}
+}
+
+func TestCurveRecorderNilSafety(t *testing.T) {
+	var rec *CurveRecorder
+	rec.OnEpisode(core.EpisodeStats{})
+	rec.RecordFit("x", 1)
+	rec.RecordHarnessFits(nil)
+	rec.RecordFigure3Fits(Figure3Result{})
+	if rec.Records() != nil {
+		t.Error("nil recorder returned records")
+	}
+}
+
+func TestWriteCurvesFormats(t *testing.T) {
+	recs := []CurveRecord{
+		{Model: "exact", Kind: "episode", Episode: 0, Epsilon: 0.2, Reward: -3.5, QDelta: 1.25, MaxQDelta: 0.5, Steps: 17},
+		{Model: "linreg-tmm", Kind: "fit", FitLoss: 0.01},
+	}
+
+	var csvBuf strings.Builder
+	if err := WriteCurvesFile(&csvBuf, "curves.csv", recs); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(csvBuf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV parse: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("CSV rows = %d, want header + 2", len(rows))
+	}
+	if rows[0][0] != "model" || rows[1][0] != "exact" || rows[2][8] != "0.01" {
+		t.Errorf("CSV content: %v", rows)
+	}
+
+	var jsonBuf strings.Builder
+	if err := WriteCurvesFile(&jsonBuf, "curves.json", recs); err != nil {
+		t.Fatal(err)
+	}
+	var back []CurveRecord
+	if err := json.Unmarshal([]byte(jsonBuf.String()), &back); err != nil {
+		t.Fatalf("JSON parse: %v", err)
+	}
+	if !reflect.DeepEqual(back, recs) {
+		t.Errorf("JSON round trip: %+v vs %+v", back, recs)
+	}
+
+	// Empty record sets still emit a valid document.
+	var empty strings.Builder
+	if err := WriteCurvesFile(&empty, "x.json", nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(empty.String()) != "[]" {
+		t.Errorf("empty JSON = %q, want []", empty.String())
+	}
+}
+
+// TestFigure3RecordsNeuralLoss checks that the Figure 3 runner surfaces the
+// neural models' fit losses for the curve export.
+func TestFigure3RecordsNeuralLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a neural net")
+	}
+	h, err := NewHarness(curveHarnessConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{
+		Nodes: 60, Edges: 120, MaxOutDegree: 5, Assets: 2, MaxSpeed: 3,
+		Episodes: 2, CommEvery: 3, Runs: 2, SensingRadiusFactor: 1.2, Seed: 7,
+	}
+	opts := neural.TrainOptions{Epochs: 40, BatchSize: 128, LearningRate: 0.05}
+	r, err := h.RunFigure3(context.Background(), p, opts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NeuralTMMLoss <= 0 || r.NeuralLMLoss <= 0 {
+		t.Errorf("neural losses = %v / %v, want > 0", r.NeuralTMMLoss, r.NeuralLMLoss)
+	}
+	rec := NewCurveRecorder(nil)
+	rec.RecordFigure3Fits(r)
+	recs := rec.Records()
+	if len(recs) != 2 || recs[0].Model != "nn-tmm" || recs[1].Model != "nn-lm" {
+		t.Errorf("figure-3 fit records: %+v", recs)
+	}
+}

@@ -26,6 +26,10 @@ type Figure3Result struct {
 	Speedup float64
 	Linear  RunStats
 	Neural  RunStats
+	// NeuralTMMLoss/NeuralLMLoss are the networks' training MSE on the
+	// shared samples — the NN entries of the learning-curve export.
+	NeuralTMMLoss float64
+	NeuralLMLoss  float64
 }
 
 // RunFigure3 fits both models on the harness's samples (Section 4.2) and
@@ -42,6 +46,7 @@ func (h *Harness) RunFigure3(ctx context.Context, p Params, nnOpts neural.TrainO
 		return out, err
 	}
 	out.NeuralTrainTime = nnDur
+	out.NeuralTMMLoss, out.NeuralLMLoss = nnModel.FitLoss(h.Pipe.Data)
 	if h.LinearTrainTime > 0 {
 		out.Speedup = float64(nnDur) / float64(h.LinearTrainTime)
 	}

@@ -141,6 +141,7 @@ func RegisterMetricsHelp(m *obs.Registry) {
 	m.SetHelp("experiments_runs_total", "Experiment leaf runs completed, by algorithm.")
 	m.SetHelp("experiments_inflight_runs", "Experiment runs currently executing.")
 	m.SetHelp("trace_span_seconds", "Span durations from the suite tracer, by span name.")
+	m.SetHelp("trace_spans_total", "Spans completed by the suite tracer, by span name.")
 }
 
 func instrumentRun(p Params, algo string, run int, fn func(sp *trace.Span) runOutcome) runOutcome {

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// StreamHandler serves a Sampler as Server-Sent Events: the retained
+// history first, then every new sample as it is taken, one
+//
+//	event: sample
+//	id: <seq>
+//	data: {"seq":..,"t":..,"series":{...}}
+//
+// frame per sample. The handler holds the connection until the client
+// disconnects. A proxy-buffered client sees frames late, so the usual SSE
+// anti-buffering headers are set.
+func StreamHandler(s *Sampler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		w.Header().Set("X-Accel-Buffering", "no")
+		w.WriteHeader(http.StatusOK)
+
+		backlog, ch, cancel := s.Subscribe(16)
+		defer cancel()
+		write := func(sm Sample) bool {
+			b, err := json.Marshal(sm)
+			if err != nil {
+				return false
+			}
+			if _, err := fmt.Fprintf(w, "event: sample\nid: %d\ndata: %s\n\n", sm.Seq, b); err != nil {
+				return false
+			}
+			fl.Flush()
+			return true
+		}
+		for _, sm := range backlog {
+			if !write(sm) {
+				return
+			}
+		}
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case sm, ok := <-ch:
+				if !ok || !write(sm) {
+					return
+				}
+			}
+		}
+	})
+}
+
+// DashHandler serves the live dashboard: one self-contained HTML page
+// (inline CSS/JS, SVG sparklines, zero external asset fetches) that
+// subscribes to the SSE stream at streamPath and renders every series as a
+// tile with its latest value and recent history.
+func DashHandler(streamPath string) http.Handler {
+	page := strings.Replace(dashHTML, "__STREAM_PATH__", streamPath, 1)
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(page))
+	})
+}
+
+// dashHTML is the whole dashboard. It deliberately references nothing
+// external — no fonts, scripts, stylesheets or images — so it renders on
+// an air-gapped operations network exactly as it does in development.
+const dashHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>live metrics</title>
+<style>
+  :root { color-scheme: dark; }
+  body { margin: 0; padding: 16px; background: #14171c; color: #d8dee6;
+         font: 13px/1.4 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace; }
+  header { display: flex; align-items: baseline; gap: 16px; margin-bottom: 12px; }
+  h1 { font-size: 15px; margin: 0; font-weight: 600; }
+  #status { color: #7d8590; }
+  #status.live { color: #5cb870; }
+  #filter { background: #1d2127; color: inherit; border: 1px solid #2c323b;
+            border-radius: 4px; padding: 4px 8px; width: 280px; }
+  #tiles { display: grid; grid-template-columns: repeat(auto-fill, minmax(260px, 1fr)); gap: 8px; }
+  .tile { background: #1b1f26; border: 1px solid #2c323b; border-radius: 6px; padding: 8px 10px; }
+  .tile .name { color: #9aa4b2; font-size: 11px; overflow-wrap: anywhere; }
+  .tile .val { font-size: 18px; margin: 2px 0 4px; }
+  .tile svg { display: block; width: 100%; height: 36px; }
+  .tile polyline { fill: none; stroke: #4f9cf9; stroke-width: 1.5; }
+</style>
+</head>
+<body>
+<header>
+  <h1>live metrics</h1>
+  <span id="status">connecting&hellip;</span>
+  <input id="filter" type="search" placeholder="filter series (e.g. rate, heap, p99)">
+</header>
+<div id="tiles"></div>
+<script>
+"use strict";
+const MAX_POINTS = 300;
+const series = new Map();   // key -> [{t, v}, ...]
+let lastSeq = -1, dirty = false;
+
+const status = document.getElementById("status");
+const tiles = document.getElementById("tiles");
+const filter = document.getElementById("filter");
+filter.addEventListener("input", () => { dirty = true; });
+
+const es = new EventSource("__STREAM_PATH__");
+es.addEventListener("open", () => { status.textContent = "live"; status.className = "live"; });
+es.addEventListener("error", () => { status.textContent = "reconnecting…"; status.className = ""; });
+es.addEventListener("sample", (ev) => {
+  const sm = JSON.parse(ev.data);
+  if (sm.seq <= lastSeq) return;   // backlog replay on reconnect
+  lastSeq = sm.seq;
+  const t = Date.parse(sm.t);
+  for (const [key, v] of Object.entries(sm.series)) {
+    let pts = series.get(key);
+    if (!pts) { pts = []; series.set(key, pts); }
+    pts.push({ t, v });
+    if (pts.length > MAX_POINTS) pts.shift();
+  }
+  dirty = true;
+});
+
+function fmt(v) {
+  if (!isFinite(v)) return String(v);
+  const a = Math.abs(v);
+  if (a >= 1e9) return (v / 1e9).toFixed(2) + "G";
+  if (a >= 1e6) return (v / 1e6).toFixed(2) + "M";
+  if (a >= 1e3) return (v / 1e3).toFixed(2) + "k";
+  if (a > 0 && a < 0.01) return v.toExponential(2);
+  return +v.toFixed(3) + "";
+}
+
+function spark(pts) {
+  const w = 240, h = 36, pad = 2;
+  if (pts.length < 2) return "";
+  let lo = Infinity, hi = -Infinity;
+  for (const p of pts) { if (p.v < lo) lo = p.v; if (p.v > hi) hi = p.v; }
+  if (hi === lo) { hi += 1; lo -= 1; }
+  const xs = (i) => pad + (w - 2 * pad) * i / (pts.length - 1);
+  const ys = (v) => h - pad - (h - 2 * pad) * (v - lo) / (hi - lo);
+  const coords = pts.map((p, i) => xs(i).toFixed(1) + "," + ys(p.v).toFixed(1)).join(" ");
+  return '<svg viewBox="0 0 ' + w + ' ' + h + '" preserveAspectRatio="none">' +
+         '<polyline points="' + coords + '"></polyline></svg>';
+}
+
+function render() {
+  if (!dirty) return;
+  dirty = false;
+  const q = filter.value.trim().toLowerCase();
+  const keys = [...series.keys()].filter(k => !q || k.toLowerCase().includes(q)).sort();
+  const html = keys.map(k => {
+    const pts = series.get(k);
+    const last = pts[pts.length - 1];
+    return '<div class="tile"><div class="name"></div><div class="val">' + fmt(last.v) +
+           "</div>" + spark(pts) + "</div>";
+  }).join("");
+  tiles.innerHTML = html;
+  // Series names are set via textContent: keys contain metric label values,
+  // which must never be interpreted as markup.
+  const names = tiles.querySelectorAll(".tile .name");
+  keys.forEach((k, i) => { names[i].textContent = k; });
+}
+setInterval(render, 1000);
+</script>
+</body>
+</html>
+`

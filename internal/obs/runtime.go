@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// runtimeSeries maps the runtime/metrics samples the collector reads to the
+// registry gauges it maintains. Scalar samples become one gauge; histogram
+// samples (GC pauses, scheduler latencies) are reduced to p50/p99 gauges so
+// tail pressure is visible without exporting the whole distribution.
+var runtimeScalars = []struct {
+	runtime string
+	gauge   string
+	help    string
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", "Live goroutines."},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes occupied by live and dead heap objects."},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", "All memory mapped by the Go runtime."},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles since process start."},
+}
+
+var runtimeHists = []struct {
+	runtime string
+	gauge   string
+	help    string
+}{
+	{"/gc/pauses:seconds", "go_gc_pause_seconds", "Stop-the-world GC pause latency, by quantile."},
+	{"/sched/latencies:seconds", "go_sched_latency_seconds", "Goroutine scheduling latency, by quantile."},
+}
+
+// RuntimeCollector folds runtime/metrics into a Registry on demand: heap
+// and total memory, goroutine count, GC cycles, and the GC pause /
+// scheduler latency distributions as p50/p99 gauges. Hand its Collect to a
+// Sampler's OnTick so executor saturation and allocation regressions show
+// up live on the dashboard.
+type RuntimeCollector struct {
+	reg     *Registry
+	samples []metrics.Sample
+}
+
+// NewRuntimeCollector builds a collector over reg and registers HELP text
+// for the gauges it maintains.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	c := &RuntimeCollector{reg: reg}
+	for _, s := range runtimeScalars {
+		c.samples = append(c.samples, metrics.Sample{Name: s.runtime})
+		reg.SetHelp(s.gauge, s.help)
+	}
+	for _, h := range runtimeHists {
+		c.samples = append(c.samples, metrics.Sample{Name: h.runtime})
+		reg.SetHelp(h.gauge, h.help)
+	}
+	return c
+}
+
+// Collect reads the runtime metrics and updates the gauges. Safe for
+// concurrent use (runtime/metrics.Read is, and gauge stores are atomic).
+func (c *RuntimeCollector) Collect() {
+	samples := make([]metrics.Sample, len(c.samples))
+	copy(samples, c.samples)
+	metrics.Read(samples)
+	for i, s := range runtimeScalars {
+		if v, ok := scalarValue(samples[i]); ok {
+			c.reg.Gauge(s.gauge).Set(v)
+		}
+	}
+	off := len(runtimeScalars)
+	for i, h := range runtimeHists {
+		fh := samples[off+i]
+		if fh.Value.Kind() != metrics.KindFloat64Histogram {
+			continue
+		}
+		dist := fh.Value.Float64Histogram()
+		c.reg.Gauge(h.gauge, "q", "0.5").Set(float64HistQuantile(dist, 0.5))
+		c.reg.Gauge(h.gauge, "q", "0.99").Set(float64HistQuantile(dist, 0.99))
+	}
+}
+
+// scalarValue extracts a numeric sample value, tolerating kind changes
+// across Go releases (an unknown metric reads as KindBad and is skipped).
+func scalarValue(s metrics.Sample) (float64, bool) {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64()), true
+	case metrics.KindFloat64:
+		return s.Value.Float64(), true
+	default:
+		return 0, false
+	}
+}
+
+// float64HistQuantile estimates a quantile of a runtime/metrics histogram.
+// Buckets holds len(Counts)+1 boundaries and may open with -Inf or close
+// with +Inf; interpolation clamps to the nearest finite boundary there,
+// mirroring HistogramQuantile's overflow behavior.
+func float64HistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 || len(h.Buckets) != len(h.Counts)+1 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			return finiteOr(hi, 0)
+		}
+		if math.IsInf(hi, 1) {
+			return finiteOr(lo, 0)
+		}
+		prevCum := cum - float64(c)
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prevCum)/float64(c)
+	}
+	return finiteOr(h.Buckets[len(h.Buckets)-1], 0)
+}
+
+// finiteOr returns v unless it is infinite, else fallback.
+func finiteOr(v, fallback float64) float64 {
+	if math.IsInf(v, 0) {
+		return fallback
+	}
+	return v
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollector(t *testing.T) {
+	reg := New()
+	rc := NewRuntimeCollector(reg)
+	rc.Collect()
+	if got := reg.GaugeValue("go_goroutines"); got < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", got)
+	}
+	if got := reg.GaugeValue("go_memory_total_bytes"); got <= 0 {
+		t.Errorf("go_memory_total_bytes = %v, want > 0", got)
+	}
+	if got := reg.GaugeValue("go_heap_objects_bytes"); got <= 0 {
+		t.Errorf("go_heap_objects_bytes = %v, want > 0", got)
+	}
+	// The latency-distribution gauges exist with quantile labels (their
+	// values may legitimately be zero on an idle test process).
+	snap := reg.Snapshot()
+	found := map[string]bool{}
+	for _, g := range snap.Gauges {
+		if g.Name == "go_sched_latency_seconds" {
+			found[g.Labels["q"]] = true
+		}
+	}
+	if !found["0.5"] || !found["0.99"] {
+		t.Errorf("go_sched_latency_seconds quantile gauges missing: %v", found)
+	}
+}
+
+// TestRuntimeCollectorInSampler checks the intended wiring: runtime metrics
+// refresh on every sampler tick.
+func TestRuntimeCollectorInSampler(t *testing.T) {
+	reg := New()
+	rc := NewRuntimeCollector(reg)
+	clk := newFakeClock()
+	s := NewSampler(reg, SamplerOptions{Now: clk.Now, OnTick: []func(){rc.Collect}})
+	clk.Advance(time.Second)
+	sm := s.Tick()
+	if sm.Series["go_goroutines"] < 1 {
+		t.Errorf("sampled go_goroutines = %v, want >= 1", sm.Series["go_goroutines"])
+	}
+}
+
+func TestFloat64HistQuantile(t *testing.T) {
+	// Runtime histograms may open at -Inf and close at +Inf.
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 10, 10, 0},
+		Buckets: []float64{math.Inf(-1), 1, 2, 3, math.Inf(1)},
+	}
+	got := float64HistQuantile(h, 0.5)
+	if got < 1 || got > 2 {
+		t.Errorf("p50 = %v, want in [1, 2]", got)
+	}
+	if got := float64HistQuantile(h, 0.99); got < 2 || got > 3 {
+		t.Errorf("p99 = %v, want in [2, 3]", got)
+	}
+	// All mass against the infinite edges clamps to finite boundaries.
+	lowEdge := &metrics.Float64Histogram{
+		Counts:  []uint64{5, 0},
+		Buckets: []float64{math.Inf(-1), 1, math.Inf(1)},
+	}
+	if got := float64HistQuantile(lowEdge, 0.5); got != 1 {
+		t.Errorf("-Inf bucket: got %v, want clamp to 1", got)
+	}
+	highEdge := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 5},
+		Buckets: []float64{math.Inf(-1), 1, math.Inf(1)},
+	}
+	if got := float64HistQuantile(highEdge, 0.5); got != 1 {
+		t.Errorf("+Inf bucket: got %v, want clamp to 1", got)
+	}
+	if got := float64HistQuantile(nil, 0.5); got != 0 {
+		t.Errorf("nil histogram: got %v, want 0", got)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if got := float64HistQuantile(empty, 0.5); got != 0 {
+		t.Errorf("empty histogram: got %v, want 0", got)
+	}
+}

@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Time-series defaults: one sample every 2 seconds, 10 minutes of history.
+const (
+	DefaultSampleInterval = 2 * time.Second
+	DefaultSampleCapacity = 300
+)
+
+// Sample is one timestamped reduction of a Registry snapshot to flat
+// series. Keys are the canonical metric identity (name plus rendered
+// labels) with a reduction suffix:
+//
+//	counter    -> key:total (running count) and key:rate (per-second since
+//	              the previous sample)
+//	gauge      -> key (value as-is)
+//	histogram  -> key:count, key:sum, key:rate (observations/second) and
+//	              key:p50 / key:p90 / key:p99 (interpolated from the
+//	              cumulative buckets, see HistogramQuantile)
+//
+// The flat map is what the dashboard consumes: every key is one sparkline.
+type Sample struct {
+	// Seq increments by one per sample; subscribers use it to splice the
+	// history backlog and the live stream without duplicates.
+	Seq    uint64             `json:"seq"`
+	T      time.Time          `json:"t"`
+	Series map[string]float64 `json:"series"`
+}
+
+// SamplerOptions tunes a Sampler. The zero value selects the defaults.
+type SamplerOptions struct {
+	// Interval is the tick period of Run. <= 0 selects
+	// DefaultSampleInterval.
+	Interval time.Duration
+	// Capacity is the number of samples retained. <= 0 selects
+	// DefaultSampleCapacity.
+	Capacity int
+	// Now replaces the clock (tests drive a fake one).
+	Now func() time.Time
+	// OnTick hooks run before each snapshot; the runtime collector uses
+	// this to fold runtime/metrics into the registry at sampling time.
+	OnTick []func()
+}
+
+// Sampler periodically reduces a Registry into Samples, keeping a fixed
+// ring of history and fanning new samples out to subscribers (the SSE
+// stream). It only ever reads the registry — sampling can never perturb
+// the metrics it observes, and therefore never perturbs the system either.
+//
+// Sampler is safe for concurrent use. Ticking is driven either by Run (a
+// wall-clock ticker) or by explicit Tick calls (tests with a fake clock).
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	now      func() time.Time
+	onTick   []func()
+
+	mu       sync.Mutex
+	ring     []Sample
+	start    int // index of the oldest sample
+	count    int
+	seq      uint64
+	prevT    time.Time
+	prevCtr  map[string]uint64 // counter totals at the previous tick
+	prevHist map[string]uint64 // histogram counts at the previous tick
+	subs     map[uint64]chan Sample
+	nextSub  uint64
+}
+
+// NewSampler builds a sampler over reg. The first tick computes rates
+// against the registry state observed here, so a counter's activity before
+// NewSampler never inflates its first rate window.
+func NewSampler(reg *Registry, opts SamplerOptions) *Sampler {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultSampleInterval
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultSampleCapacity
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	s := &Sampler{
+		reg:      reg,
+		interval: opts.Interval,
+		now:      opts.Now,
+		onTick:   opts.OnTick,
+		ring:     make([]Sample, opts.Capacity),
+		subs:     make(map[uint64]chan Sample),
+	}
+	s.prevT = s.now()
+	s.prevCtr, s.prevHist = baseline(reg.Snapshot())
+	return s
+}
+
+// baseline extracts the counter and histogram totals the next tick's rates
+// are computed against.
+func baseline(snap Snapshot) (ctr, hist map[string]uint64) {
+	ctr = make(map[string]uint64, len(snap.Counters))
+	for _, c := range snap.Counters {
+		ctr[seriesKey(c.Name, c.Labels)] = c.Value
+	}
+	hist = make(map[string]uint64, len(snap.Histograms))
+	for _, h := range snap.Histograms {
+		hist[seriesKey(h.Name, h.Labels)] = h.Count
+	}
+	return ctr, hist
+}
+
+// seriesKey renders the canonical series identity: name{k=v,...} with the
+// labels in their registered (stable) order.
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	// Rebuild the alternating form promLabels expects, sorted for
+	// stability (label maps come from snapshots).
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	flat := make([]string, 0, 2*len(keys))
+	for _, k := range keys {
+		flat = append(flat, k, labels[k])
+	}
+	return name + promLabels(flat)
+}
+
+// sortStrings is an insertion sort over the tiny label-key slices (avoids
+// pulling sort into the per-sample hot path for 1-2 element inputs).
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Interval returns the tick period Run uses.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Tick takes one sample immediately and returns it. Tests with fake clocks
+// call this directly; Run calls it on a wall-clock ticker.
+func (s *Sampler) Tick() Sample {
+	for _, fn := range s.onTick {
+		fn()
+	}
+	snap := s.reg.Snapshot()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	dt := now.Sub(s.prevT).Seconds()
+	series := make(map[string]float64, len(snap.Counters)*2+len(snap.Gauges)+len(snap.Histograms)*6)
+
+	ctr := make(map[string]uint64, len(snap.Counters))
+	for _, c := range snap.Counters {
+		key := seriesKey(c.Name, c.Labels)
+		ctr[key] = c.Value
+		series[key+":total"] = float64(c.Value)
+		series[key+":rate"] = rate(c.Value, s.prevCtr[key], dt)
+	}
+	for _, g := range snap.Gauges {
+		series[seriesKey(g.Name, g.Labels)] = g.Value
+	}
+	hist := make(map[string]uint64, len(snap.Histograms))
+	for _, h := range snap.Histograms {
+		key := seriesKey(h.Name, h.Labels)
+		hist[key] = h.Count
+		series[key+":count"] = float64(h.Count)
+		series[key+":sum"] = h.Sum
+		series[key+":rate"] = rate(h.Count, s.prevHist[key], dt)
+		series[key+":p50"] = HistogramQuantile(h.Bounds, h.Buckets, 0.50)
+		series[key+":p90"] = HistogramQuantile(h.Bounds, h.Buckets, 0.90)
+		series[key+":p99"] = HistogramQuantile(h.Bounds, h.Buckets, 0.99)
+	}
+	s.prevT = now
+	s.prevCtr = ctr
+	s.prevHist = hist
+
+	s.seq++
+	sm := Sample{Seq: s.seq, T: now, Series: series}
+	s.ring[(s.start+s.count)%len(s.ring)] = sm
+	if s.count < len(s.ring) {
+		s.count++
+	} else {
+		s.start = (s.start + 1) % len(s.ring)
+	}
+	for _, ch := range s.subs {
+		select {
+		case ch <- sm:
+		default:
+			// A subscriber that cannot keep up loses samples rather than
+			// stalling the sampler; the Seq gap tells it so.
+		}
+	}
+	return sm
+}
+
+// rate converts a monotonic count delta into a per-second rate; a counter
+// reset (cur < prev, e.g. a fresh registry behind the same key) restarts
+// from zero rather than reporting a negative spike.
+func rate(cur, prev uint64, dt float64) float64 {
+	if dt <= 0 || cur < prev {
+		return 0
+	}
+	return float64(cur-prev) / dt
+}
+
+// Run ticks the sampler every Interval until ctx is cancelled.
+func (s *Sampler) Run(ctx context.Context) {
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.Tick()
+		}
+	}
+}
+
+// History returns the retained samples, oldest first.
+func (s *Sampler) History() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, 0, s.count)
+	for i := 0; i < s.count; i++ {
+		out = append(out, s.ring[(s.start+i)%len(s.ring)])
+	}
+	return out
+}
+
+// Subscribe registers a live-sample channel with the given buffer and
+// returns it together with the history backlog, captured atomically so the
+// two splice without gaps or duplicates. cancel unregisters and closes the
+// channel; it is safe to call more than once.
+func (s *Sampler) Subscribe(buf int) (backlog []Sample, ch <-chan Sample, cancel func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	c := make(chan Sample, buf)
+	s.mu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = c
+	backlog = make([]Sample, 0, s.count)
+	for i := 0; i < s.count; i++ {
+		backlog = append(backlog, s.ring[(s.start+i)%len(s.ring)])
+	}
+	s.mu.Unlock()
+
+	var once sync.Once
+	cancel = func() {
+		once.Do(func() {
+			s.mu.Lock()
+			delete(s.subs, id)
+			s.mu.Unlock()
+			close(c)
+		})
+	}
+	return backlog, c, cancel
+}
+
+// WriteJSON writes the retained history as one JSON array, oldest first.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(s.History())
+}
+
+// HistogramQuantile estimates the q-quantile (0 <= q <= 1) of a histogram
+// from its cumulative buckets, as exported by Snapshot: buckets[i] counts
+// observations <= bounds[i], and the final bucket (len(bounds)) is the
+// +Inf overflow equal to the total count.
+//
+// The estimate interpolates linearly inside the bucket containing the
+// rank, assuming observations spread uniformly across it, so the error is
+// bounded by the width of that bucket (TestHistogramQuantile pins this).
+// Ranks landing in the overflow bucket clamp to the highest finite bound —
+// the histogram carries no information beyond it.
+func HistogramQuantile(bounds []float64, buckets []uint64, q float64) float64 {
+	if len(bounds) == 0 || len(buckets) != len(bounds)+1 {
+		return 0
+	}
+	total := buckets[len(buckets)-1]
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	i := 0
+	for i < len(bounds) && float64(buckets[i]) < rank {
+		i++
+	}
+	if i == len(bounds) {
+		return bounds[len(bounds)-1]
+	}
+	hi := bounds[i]
+	lo := 0.0
+	prevCum := 0.0
+	if i > 0 {
+		lo = bounds[i-1]
+		prevCum = float64(buckets[i-1])
+	} else if hi <= 0 {
+		// The first bucket has no finite lower edge; a non-positive bound
+		// leaves nothing sensible to interpolate from.
+		return hi
+	}
+	inBucket := float64(buckets[i]) - prevCum
+	if inBucket <= 0 {
+		return hi
+	}
+	return lo + (hi-lo)*(rank-prevCum)/inBucket
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced time source for sampler tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// exactQuantile is the reference: the smallest observation with at least
+// q*n observations at or below it.
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// bucketWidthAt returns the width of the bucket containing v (the error
+// bound of the interpolated estimate).
+func bucketWidthAt(bounds []float64, v float64) float64 {
+	i := sort.SearchFloat64s(bounds, v)
+	if i >= len(bounds) {
+		i = len(bounds) - 1
+	}
+	lo := 0.0
+	if i > 0 {
+		lo = bounds[i-1]
+	}
+	return bounds[i] - lo
+}
+
+// TestHistogramQuantileCrossCheck pins the estimator against exact sample
+// quantiles: interpolation inside the containing bucket means the estimate
+// can be off by at most that bucket's width.
+func TestHistogramQuantileCrossCheck(t *testing.T) {
+	bounds := []float64{0.5, 1, 2, 4, 8, 16, 32, 64}
+	distributions := map[string]func(r *rand.Rand) float64{
+		// Uniform over most of the range.
+		"uniform": func(r *rand.Rand) float64 { return r.Float64() * 60 },
+		// Heavily skewed toward small values with a long tail, the shape of
+		// real latency data.
+		"skewed": func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()*1.2 - 1) },
+	}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			reg := New()
+			h := reg.Histogram("x_seconds", bounds)
+			var obsv []float64
+			for i := 0; i < 5000; i++ {
+				v := gen(r)
+				h.Observe(v)
+				obsv = append(obsv, v)
+			}
+			sort.Float64s(obsv)
+			snap := reg.Snapshot().Histograms[0]
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				est := HistogramQuantile(snap.Bounds, snap.Buckets, q)
+				exact := exactQuantile(obsv, q)
+				if exact > bounds[len(bounds)-1] {
+					// Overflow ranks clamp to the highest finite bound.
+					if est != bounds[len(bounds)-1] {
+						t.Errorf("q%.2f: overflow estimate %v, want clamp to %v", q, est, bounds[len(bounds)-1])
+					}
+					continue
+				}
+				width := bucketWidthAt(snap.Bounds, exact)
+				if math.Abs(est-exact) > width+1e-9 {
+					t.Errorf("q%.2f: estimate %v vs exact %v; error beyond bucket width %v", q, est, exact, width)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	if got := HistogramQuantile(bounds, []uint64{0, 0, 0, 0}, 0.5); got != 0 {
+		t.Errorf("empty histogram: got %v, want 0", got)
+	}
+	if got := HistogramQuantile(nil, nil, 0.5); got != 0 {
+		t.Errorf("no buckets: got %v, want 0", got)
+	}
+	if got := HistogramQuantile(bounds, []uint64{0, 0}, 0.5); got != 0 {
+		t.Errorf("mismatched buckets: got %v, want 0", got)
+	}
+	// Everything in the overflow bucket clamps to the last finite bound.
+	if got := HistogramQuantile(bounds, []uint64{0, 0, 0, 10}, 0.5); got != 4 {
+		t.Errorf("overflow: got %v, want 4", got)
+	}
+	// All mass in the first bucket interpolates from zero.
+	got := HistogramQuantile(bounds, []uint64{10, 10, 10, 10}, 0.5)
+	if got <= 0 || got > 1 {
+		t.Errorf("first bucket: got %v, want in (0, 1]", got)
+	}
+	// Out-of-range q clamps.
+	if got := HistogramQuantile(bounds, []uint64{10, 10, 10, 10}, -1); got < 0 {
+		t.Errorf("q<0: got %v", got)
+	}
+	if got := HistogramQuantile(bounds, []uint64{10, 10, 10, 10}, 2); got != 1 {
+		t.Errorf("q>1: got %v, want 1 (all mass <= 1)", got)
+	}
+}
+
+// TestSamplerRates drives the sampler with a fake clock and checks the
+// counter/histogram rate math, including the NewSampler baseline: activity
+// before the sampler exists never inflates the first window.
+func TestSamplerRates(t *testing.T) {
+	reg := New()
+	c := reg.Counter("req_total", "endpoint", "/plan")
+	h := reg.Histogram("lat_seconds", []float64{1, 2, 4})
+	c.Add(100) // pre-sampler activity
+	h.Observe(1.5)
+
+	clk := newFakeClock()
+	s := NewSampler(reg, SamplerOptions{Interval: time.Second, Capacity: 10, Now: clk.Now})
+
+	clk.Advance(2 * time.Second)
+	sm := s.Tick()
+	key := `req_total{endpoint="/plan"}`
+	if got := sm.Series[key+":total"]; got != 100 {
+		t.Errorf("total = %v, want 100", got)
+	}
+	if got := sm.Series[key+":rate"]; got != 0 {
+		t.Errorf("first-window rate = %v, want 0 (baselined at NewSampler)", got)
+	}
+
+	c.Add(10)
+	h.Observe(3)
+	h.Observe(3)
+	clk.Advance(2 * time.Second)
+	sm = s.Tick()
+	if got := sm.Series[key+":rate"]; got != 5 {
+		t.Errorf("rate = %v, want 5/s", got)
+	}
+	if got := sm.Series["lat_seconds:rate"]; got != 1 {
+		t.Errorf("histogram rate = %v, want 1/s", got)
+	}
+	if got := sm.Series["lat_seconds:count"]; got != 3 {
+		t.Errorf("histogram count = %v, want 3", got)
+	}
+	p50 := sm.Series["lat_seconds:p50"]
+	if p50 < 1 || p50 > 4 {
+		t.Errorf("p50 = %v, want within bucket range", p50)
+	}
+
+	// Gauges pass through as-is.
+	reg.Gauge("inflight").Set(7)
+	clk.Advance(time.Second)
+	sm = s.Tick()
+	if got := sm.Series["inflight"]; got != 7 {
+		t.Errorf("gauge = %v, want 7", got)
+	}
+}
+
+func TestSamplerRingAndSeq(t *testing.T) {
+	reg := New()
+	clk := newFakeClock()
+	s := NewSampler(reg, SamplerOptions{Capacity: 3, Now: clk.Now})
+	for i := 0; i < 5; i++ {
+		clk.Advance(time.Second)
+		s.Tick()
+	}
+	hist := s.History()
+	if len(hist) != 3 {
+		t.Fatalf("history length = %d, want 3 (capacity)", len(hist))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if hist[i].Seq != want {
+			t.Errorf("history[%d].Seq = %d, want %d", i, hist[i].Seq, want)
+		}
+	}
+	if !hist[0].T.Before(hist[2].T) {
+		t.Errorf("history not oldest-first: %v vs %v", hist[0].T, hist[2].T)
+	}
+}
+
+func TestSamplerSubscribe(t *testing.T) {
+	reg := New()
+	clk := newFakeClock()
+	s := NewSampler(reg, SamplerOptions{Capacity: 8, Now: clk.Now})
+	clk.Advance(time.Second)
+	s.Tick()
+	clk.Advance(time.Second)
+	s.Tick()
+
+	backlog, ch, cancel := s.Subscribe(4)
+	if len(backlog) != 2 {
+		t.Fatalf("backlog = %d samples, want 2", len(backlog))
+	}
+	clk.Advance(time.Second)
+	s.Tick()
+	select {
+	case sm := <-ch:
+		if sm.Seq != backlog[len(backlog)-1].Seq+1 {
+			t.Errorf("live sample Seq = %d, want %d (gapless splice)", sm.Seq, backlog[len(backlog)-1].Seq+1)
+		}
+	default:
+		t.Fatal("no live sample delivered")
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Error("channel still open after cancel")
+	}
+	cancel() // second cancel must be a no-op, not a double close panic
+
+	// A full subscriber drops samples instead of stalling the sampler.
+	_, ch2, cancel2 := s.Subscribe(1)
+	defer cancel2()
+	clk.Advance(time.Second)
+	s.Tick()
+	clk.Advance(time.Second)
+	s.Tick() // buffer full: dropped
+	first := <-ch2
+	clk.Advance(time.Second)
+	s.Tick()
+	second := <-ch2
+	if second.Seq-first.Seq != 2 {
+		t.Errorf("expected a Seq gap from the dropped sample: %d -> %d", first.Seq, second.Seq)
+	}
+}
+
+func TestSamplerWriteJSON(t *testing.T) {
+	reg := New()
+	reg.Counter("a_total").Inc()
+	clk := newFakeClock()
+	s := NewSampler(reg, SamplerOptions{Now: clk.Now})
+	clk.Advance(time.Second)
+	s.Tick()
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out []Sample
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(out) != 1 || out[0].Series["a_total:total"] != 1 {
+		t.Errorf("round-trip mismatch: %+v", out)
+	}
+}
+
+func TestSeriesKeyStable(t *testing.T) {
+	a := seriesKey("m", map[string]string{"b": "2", "a": "1"})
+	if a != `m{a="1",b="2"}` {
+		t.Errorf("seriesKey = %q, want sorted labels", a)
+	}
+	if got := seriesKey("m", nil); got != "m" {
+		t.Errorf("unlabeled key = %q, want bare name", got)
+	}
+}

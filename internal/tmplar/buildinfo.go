@@ -1,0 +1,53 @@
+package tmplar
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: the module version stamped by the
+// Go toolchain, the Go version, and the VCS metadata embedded at build time.
+// Fields read "unknown" when built outside a module or VCS checkout (e.g.
+// test binaries), never empty.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"`
+	BuildTime string `json:"build_time"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"modified"`
+}
+
+// ReadBuildInfo collects BuildInfo from runtime/debug's embedded metadata.
+func ReadBuildInfo() BuildInfo {
+	out := BuildInfo{
+		Version:   "unknown",
+		GoVersion: runtime.Version(),
+		Revision:  "unknown",
+		BuildTime: "unknown",
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		out.Version = v
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.time":
+			out.BuildTime = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// handleVersion serves the binary's build identity as JSON.
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ReadBuildInfo())
+}

@@ -65,6 +65,11 @@ type Options struct {
 	// TraceBuffer sizes the in-memory ring of recent request traces served
 	// at GET /debug/traces. <= 0 selects DefaultTraceBuffer.
 	TraceBuffer int
+	// SampleInterval is the tick of the time-series sampler feeding
+	// GET /debug/metrics/stream and /debug/dash; SampleCapacity is its
+	// history ring size. <= 0 selects the obs package defaults.
+	SampleInterval time.Duration
+	SampleCapacity int
 }
 
 func (o Options) withDefaults() Options {
@@ -88,13 +93,14 @@ func (o Options) withDefaults() Options {
 
 // Server is the TMPLAR-style planning service.
 type Server struct {
-	mu     sync.RWMutex
-	grids  map[string]*grid.Grid
-	model  *approx.LinearModel
-	pipe   *approx.Pipeline
-	opts   Options
-	ring   *trace.Ring
-	tracer *trace.Tracer
+	mu      sync.RWMutex
+	grids   map[string]*grid.Grid
+	model   *approx.LinearModel
+	pipe    *approx.Pipeline
+	opts    Options
+	ring    *trace.Ring
+	tracer  *trace.Tracer
+	sampler *obs.Sampler
 }
 
 // NewServer trains the Approx-MaMoRL model (Section 4.2's pipeline) and
@@ -117,13 +123,22 @@ func NewServerOpts(seed int64, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tmplar: model fit: %w", err)
 	}
+	// The sampler folds Go runtime telemetry into the registry on every tick,
+	// so the dashboard shows heap/GC/goroutine series alongside service ones.
+	rc := obs.NewRuntimeCollector(opts.Metrics)
+	sampler := obs.NewSampler(opts.Metrics, obs.SamplerOptions{
+		Interval: opts.SampleInterval,
+		Capacity: opts.SampleCapacity,
+		OnTick:   []func(){rc.Collect},
+	})
 	return &Server{
-		grids:  make(map[string]*grid.Grid),
-		model:  model,
-		pipe:   pipe,
-		opts:   opts,
-		ring:   ring,
-		tracer: tracer,
+		grids:   make(map[string]*grid.Grid),
+		model:   model,
+		pipe:    pipe,
+		opts:    opts,
+		ring:    ring,
+		tracer:  tracer,
+		sampler: sampler,
 	}, nil
 }
 
@@ -141,6 +156,7 @@ func registerHelp(m *obs.Registry) {
 		"tmplar_plan_steps_total":             "Mission steps simulated across all completed plans.",
 		"tmplar_grids_installed_total":        "Grid registrations (uploads and programmatic installs).",
 		"trace_span_seconds":                  "Span durations from the request tracer, by span name.",
+		"trace_spans_total":                   "Spans completed by the request tracer, by span name.",
 	} {
 		m.SetHelp(name, help)
 	}
@@ -148,6 +164,12 @@ func registerHelp(m *obs.Registry) {
 
 // Metrics returns the server's metrics registry (never nil).
 func (s *Server) Metrics() *obs.Registry { return s.opts.Metrics }
+
+// Sampler returns the time-series sampler behind /debug/metrics/stream.
+// The caller decides whether it ticks: run Sampler().Run(ctx) in a
+// goroutine for live streaming, or drive Tick() manually in tests. May be
+// nil only for hand-built servers that bypassed NewServerOpts.
+func (s *Server) Sampler() *obs.Sampler { return s.sampler }
 
 // PlanTimeout returns the effective per-request planning deadline.
 func (s *Server) PlanTimeout() time.Duration { return s.opts.PlanTimeout }
@@ -173,12 +195,16 @@ func (s *Server) lookupGrid(name string) (*grid.Grid, bool) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.HandleFunc("GET /api/grids", s.handleListGrids)
 	mux.HandleFunc("POST /api/grids", s.handleUploadGrid)
 	mux.HandleFunc("POST /api/plan", s.handlePlanGlobal)
 	mux.HandleFunc("POST /api/plan/asset", s.handlePlanLocal)
 	mux.Handle("GET /metrics", obs.Handler(s.opts.Metrics))
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/metrics/stream", s.handleStream)
+	mux.Handle("GET /debug/dash", obs.DashHandler("/debug/metrics/stream"))
 	return s.instrument(recoverPanics(mux))
 }
 
@@ -202,6 +228,14 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 		r.status = http.StatusOK
 	}
 	return r.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so streaming responses (SSE on
+// /debug/metrics/stream) keep working through the middleware wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // recoverPanics converts a handler panic into a 500 JSON error instead of a
@@ -239,8 +273,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		defer inflight.Dec()
 
 		endpoint := r.URL.Path
-		sp := s.tracer.Start("request",
-			trace.String("method", r.Method), trace.String("endpoint", endpoint))
+		sp := s.startRequestSpan(r, endpoint)
 		if sp != nil {
 			// The trace ID reaches the client before the handler runs, so
 			// even a timed-out request can be found in /debug/traces.
@@ -262,11 +295,31 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		s.opts.Metrics.Histogram("tmplar_http_request_seconds",
 			obs.DefaultLatencyBuckets, "endpoint", endpoint).Observe(elapsed.Seconds())
 		if s.opts.Logger != nil {
+			traceID := ""
+			if sp != nil {
+				traceID = sp.TraceID.String()
+			}
 			s.opts.Logger.Info("request",
 				"method", r.Method, "path", endpoint, "status", rec.status,
-				"dur", elapsed, "trace", sp.TraceID.String())
+				"dur", elapsed, "trace", traceID)
 		}
 	})
+}
+
+// startRequestSpan opens the request span. A well-formed, non-zero incoming
+// X-Trace-Id header is honored so a caller's trace ID carries through to
+// /debug/traces and the mission spans; a malformed or absent header simply
+// mints a fresh ID — never an error, since the header is advisory.
+func (s *Server) startRequestSpan(r *http.Request, endpoint string) *trace.Span {
+	attrs := []trace.Attr{
+		trace.String("method", r.Method), trace.String("endpoint", endpoint),
+	}
+	if hdr := r.Header.Get("X-Trace-Id"); hdr != "" {
+		if id, err := trace.ParseTraceID(hdr); err == nil && id != 0 {
+			return s.tracer.StartTrace(id, "request", attrs...)
+		}
+	}
+	return s.tracer.Start("request", attrs...)
 }
 
 // handleTraces serves the ring of recent completed spans as JSON, newest
@@ -433,6 +486,35 @@ type errorResponse struct {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe, distinct from /healthz liveness: the
+// process can be alive (answering /healthz) while still useless for planning
+// because no grid has been registered yet or the model is absent. Load
+// balancers should gate traffic on this endpoint.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	grids := len(s.grids)
+	modelLoaded := s.model != nil
+	s.mu.RUnlock()
+	if !modelLoaded || grids == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "not ready", "grids": grids, "model_loaded": modelLoaded,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ready", "grids": grids, "model_loaded": modelLoaded,
+	})
+}
+
+// handleStream serves the sampler's history and live samples over SSE.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if s.sampler == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"metrics sampler not available"})
+		return
+	}
+	obs.StreamHandler(s.sampler).ServeHTTP(w, r)
 }
 
 // gridInfo summarizes a registered grid.

@@ -306,10 +306,31 @@ func TestHistogramSink(t *testing.T) {
 		"# TYPE trace_span_seconds histogram",
 		`trace_span_seconds_count{span="run"} 1`,
 		`trace_span_seconds_count{span="mission"} 1`,
+		// The completion counter is the span-rate series: the time-series
+		// sampler turns it into spans/second for the dashboard.
+		"# TYPE trace_spans_total counter",
+		`trace_spans_total{span="run"} 1`,
+		`trace_spans_total{span="mission"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
 		}
+	}
+	if got := reg.CounterValue("trace_spans_total", "span", "run"); got != 1 {
+		t.Errorf("trace_spans_total{span=run} = %d, want 1", got)
+	}
+}
+
+func TestHistogramSinkCustomCountName(t *testing.T) {
+	reg := obs.New()
+	sink := &HistogramSink{Registry: reg, CountName: "my_spans_total"}
+	tr := New(sink)
+	tr.Start("x").End()
+	if got := reg.CounterValue("my_spans_total", "span", "x"); got != 1 {
+		t.Errorf("custom counter = %d, want 1", got)
+	}
+	if got := reg.CounterValue("trace_spans_total", "span", "x"); got != 0 {
+		t.Errorf("default counter also written: %d", got)
 	}
 }
 

@@ -376,6 +376,17 @@ func NewTMPLARServerOpts(seed int64, opts TMPLAROptions) (*TMPLARServer, error) 
 	return tmplar.NewServerOpts(seed, opts)
 }
 
+// BuildInfo identifies the running binary: module version, Go version, and
+// VCS metadata embedded by the toolchain. Served at GET /version.
+type BuildInfo = tmplar.BuildInfo
+
+// ReadBuildInfo collects the binary's embedded build metadata.
+func ReadBuildInfo() BuildInfo { return tmplar.ReadBuildInfo() }
+
+// MetricsSampler periodically snapshots a metrics registry into a ring of
+// timestamped samples; it feeds GET /debug/metrics/stream and /debug/dash.
+type MetricsSampler = obs.Sampler
+
 // --- Custom planner support -----------------------------------------------------
 
 // FrontierStep computes a step toward the nearest unsensed node; custom

@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_3.json
+BENCH_OUT ?= BENCH_4.json
 # bench-compare inputs: the stored baseline and the report to vet against it.
-BENCH_OLD ?= BENCH_2.json
+BENCH_OLD ?= BENCH_3.json
 BENCH_NEW ?= $(BENCH_OUT)
 BENCH_THRESHOLD ?= 15
 
@@ -24,10 +24,11 @@ race:
 	$(GO) test -race ./internal/... .
 
 # race-exec focuses the detector on the parallel experiment executor, the
-# simulator it fans out over, the lock-free trace ring they emit into, and
-# the metrics sampler/SSE fan-out (the packages with real concurrency).
+# simulator it fans out over, the lock-free trace ring they emit into, the
+# metrics sampler/SSE fan-out, the async job queue, and the model registry
+# (the packages with real concurrency).
 race-exec:
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/... ./internal/obs/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/... ./internal/obs/... ./internal/jobs/... ./internal/registry/...
 
 # check is what CI runs (.github/workflows/ci.yml).
 check: build vet fmt-check test race

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mamorl train -out model.json [-seed 1]
+//	mamorl train -out model.json [-seed 1] [-model-dir /var/lib/mamorl/models]
 //	mamorl plan -grid grid.json -model model.json -assets 4 -radius 1.2 \
 //	    -speed 3 -comm 3 [-algorithm approx|approx-pk|baseline1|baseline2|random]
 package main
@@ -41,7 +41,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  mamorl train  -out model.json [-seed N]
+  mamorl train  -out model.json [-seed N] [-model-dir DIR]
   mamorl plan   -grid grid.json -model model.json [flags]
   mamorl replay -grid grid.json -trace trace.json [-width N -height N]`)
 }
@@ -91,6 +91,7 @@ func cmdTrain(args []string) error {
 	out := fs.String("out", "model.json", "output model path")
 	seed := fs.Int64("seed", 1, "random seed")
 	episodes := fs.Int("sample-episodes", 5, "sampling missions run on the exact solver")
+	modelDir := fs.String("model-dir", "", "also register the artifact in this model registry (tmplard -model-dir warm-starts from it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +104,17 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d bytes of weights)\n", *out, model.ModelBytes())
+	if *modelDir != "" {
+		reg, err := mamorl.OpenModelRegistry(*modelDir)
+		if err != nil {
+			return err
+		}
+		man, err := model.SaveToRegistry(reg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("registered artifact %s (grid %s, seed %d) in %s\n", man.ID, man.Grid, man.Seed, *modelDir)
+	}
 	return nil
 }
 

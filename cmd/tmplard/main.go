@@ -6,6 +6,7 @@
 //
 //	tmplard -addr :8080 -grids caribbean.json,ops.json
 //	tmplard -addr :8080 -preset caribbean -plan-timeout 10s
+//	tmplard -addr :8080 -preset caribbean -model-dir /var/lib/mamorl/models
 //
 // Endpoints:
 //
@@ -20,12 +21,23 @@
 //	POST /api/grids             upload a grid (JSON, gridgen format)
 //	POST /api/plan              global view: plan all assets of a mission
 //	POST /api/plan/asset        local view: plan a single asset
+//	POST /api/jobs/plan         submit a plan as an async job (202 + job ID)
+//	GET  /api/jobs/{id}         poll a job (state, result when done)
+//	DELETE /api/jobs/{id}       cancel a queued or running job
+//	GET  /api/jobs/{id}/events  job status transitions over SSE
+//
+// With -model-dir, the trained Approx-MaMoRL model persists in a
+// content-addressed registry: a restart warm-starts from the stored
+// artifact instead of retraining (the startup log names the artifact), and
+// a cache miss trains once and registers the result.
 //
 // The server answers 503 with a JSON error when a plan exceeds the
 // -plan-timeout deadline, 413 when a body exceeds the -max-grid-bytes /
-// -max-plan-bytes limits, and shuts down gracefully on SIGINT/SIGTERM.
-// Every response carries an X-Trace-Id header; request log records carry
-// the same ID, and GET /debug/traces resolves it to the full span tree.
+// -max-plan-bytes limits, 429 with Retry-After when the async job queue is
+// full, and shuts down gracefully on SIGINT/SIGTERM (draining the job
+// queue). Every response carries an X-Trace-Id header; request log records
+// carry the same ID, and GET /debug/traces resolves it to the full span
+// tree.
 package main
 
 import (
@@ -72,6 +84,10 @@ func main() {
 		drain       = flag.Duration("drain", 35*time.Second, "graceful-shutdown drain budget")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); disabled when empty")
 		sampleEvery = flag.Duration("sample-interval", 2*time.Second, "metrics sampler tick feeding /debug/dash")
+		modelDir    = flag.String("model-dir", "", "persistent model registry directory (warm-start on restart; empty disables)")
+		jobWorkers  = flag.Int("job-workers", 0, "async planning worker pool size (0 = default)")
+		jobQueue    = flag.Int("job-queue", 0, "async planning queue depth before 429 backpressure (0 = default)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution deadline (0 = plan-timeout)")
 		version     = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
@@ -102,7 +118,7 @@ func main() {
 		"version", bi.Version, "go", bi.GoVersion,
 		"revision", bi.Revision, "modified", bi.Modified)
 
-	logger.Info("training Approx-MaMoRL model", "seed", *seed)
+	logger.Info("initializing Approx-MaMoRL model", "seed", *seed, "model_dir", *modelDir)
 	srv, err := mamorl.NewTMPLARServerOpts(*seed, mamorl.TMPLAROptions{
 		PlanTimeout:    *planTimeout,
 		MaxGridBytes:   *maxGrid,
@@ -110,9 +126,19 @@ func main() {
 		TraceBuffer:    *traceBuf,
 		Logger:         reqLogger,
 		SampleInterval: *sampleEvery,
+		ModelDir:       *modelDir,
+		JobWorkers:     *jobWorkers,
+		JobQueueDepth:  *jobQueue,
+		JobTimeout:     *jobTimeout,
 	})
 	if err != nil {
 		fatalf("%v", err)
+	}
+	switch src, artifact := srv.ModelSource(); src {
+	case "registry":
+		logger.Info("model warm-started from registry artifact", "artifact", artifact)
+	default:
+		logger.Info("model freshly trained", "artifact", artifact)
 	}
 
 	if *grids != "" {
@@ -186,6 +212,11 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			logger.Error("shutdown", "err", err)
 			_ = httpSrv.Close()
+		}
+		// The listener is closed; finish the async jobs still in the queue
+		// (new submissions were already being rejected) before exiting.
+		if err := srv.DrainJobs(shutdownCtx); err != nil {
+			logger.Error("job drain", "err", err)
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Error("serve", "err", err)

@@ -107,15 +107,9 @@ func NewPipeline(cfg TrainConfig) (*Pipeline, error) {
 	g := cfg.Grid
 	if g == nil {
 		var err error
-		g, err = grid.GenerateSynthetic(grid.SyntheticConfig{
-			Name:         "approx-training",
-			Nodes:        cfg.GridNodes,
-			Edges:        cfg.GridEdges,
-			MaxOutDegree: cfg.GridMaxDeg,
-			Seed:         cfg.Seed,
-		})
+		g, err = trainingGrid(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("approx: training grid: %w", err)
+			return nil, err
 		}
 	}
 	sc, err := TrainingScenario(g, cfg.Assets, cfg.MaxSpeed, cfg.SensingRadiusFactor, cfg.CommEvery)
@@ -154,6 +148,35 @@ func NewPipeline(cfg TrainConfig) (*Pipeline, error) {
 	}
 	return &Pipeline{Scenario: sc, Exact: exact, Data: data, Extractor: ext}, nil
 }
+
+// trainingGrid generates the Section 4.2 training grid for a (defaulted)
+// config.
+func trainingGrid(cfg TrainConfig) (*grid.Grid, error) {
+	g, err := grid.GenerateSynthetic(grid.SyntheticConfig{
+		Name:         "approx-training",
+		Nodes:        cfg.GridNodes,
+		Edges:        cfg.GridEdges,
+		MaxOutDegree: cfg.GridMaxDeg,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("approx: training grid: %w", err)
+	}
+	return g, nil
+}
+
+// DefaultTrainingGrid generates the default training grid for a seed — the
+// grid NewPipeline builds when TrainConfig.Grid is nil and the shape fields
+// are zero. The model registry keys artifacts on this grid's fingerprint,
+// so a warm-starting server can test for a registry hit without paying the
+// training cost.
+func DefaultTrainingGrid(seed int64) (*grid.Grid, error) {
+	return trainingGrid(TrainConfig{Seed: seed}.withDefaults())
+}
+
+// Effective returns the config with all defaulting applied — the values a
+// pipeline run would actually use, recorded in registry manifests.
+func (c TrainConfig) Effective() TrainConfig { return c.withDefaults() }
 
 // TrainingScenario spreads a team over a grid and aims it at the node
 // farthest from the team, giving sampling missions room to explore.

@@ -1,0 +1,563 @@
+// Package jobs is a bounded in-memory job queue with a fixed worker pool —
+// the asynchronous, backpressured execution plane behind TMPLAR's
+// /api/jobs endpoints. A planning (or background training) request is
+// submitted as a job, answered immediately with a job ID, executed by a
+// worker under its own deadline, and observed by polling or by an SSE
+// status stream.
+//
+// Lifecycle:
+//
+//	queued ──► running ──► done
+//	   │          │    └──► failed
+//	   └──────────┴───────► canceled
+//
+// Backpressure is explicit: Submit fails with ErrQueueFull when the
+// bounded queue is at capacity (the HTTP layer answers 429 with
+// Retry-After) and with ErrDraining once shutdown has begun. Idempotency
+// keys make retries safe: a duplicate Submit returns the original job.
+// The queue exports jobs_queued/jobs_inflight gauges, per-state counters,
+// and queue-wait/execution histograms into an obs registry, and every job
+// execution carries a trace span under the submitting request's trace ID.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/routeplanning/mamorl/internal/obs"
+	"github.com/routeplanning/mamorl/internal/trace"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Func is a job body. It must honor ctx: cancellation and the per-job
+// deadline arrive through it.
+type Func func(ctx context.Context) (any, error)
+
+// Submission errors.
+var (
+	// ErrQueueFull reports that the bounded queue is at capacity; retry
+	// after the duration suggested by Queue.RetryAfter.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrDraining reports that the queue is shutting down and rejects new
+	// work.
+	ErrDraining = errors.New("jobs: queue draining")
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultWorkers    = 4
+	DefaultQueueDepth = 64
+)
+
+// Options configures a Queue.
+type Options struct {
+	// Workers is the worker-pool size; <= 0 selects DefaultWorkers.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// <= 0 selects DefaultQueueDepth.
+	QueueDepth int
+	// DefaultTimeout bounds each job's execution when the submission does
+	// not carry its own deadline. 0 means no default deadline.
+	DefaultTimeout time.Duration
+	// Metrics receives the queue's gauges, counters and histograms.
+	// nil gets a private registry.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records one "job.exec" span per execution,
+	// under the submitting request's trace ID when one was carried.
+	Tracer *trace.Tracer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = DefaultWorkers
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.New()
+	}
+	return o
+}
+
+// Request is one job submission.
+type Request struct {
+	// Kind labels the job type ("plan", "train") for metrics and views.
+	Kind string
+	// IdempotencyKey, when non-empty, deduplicates submissions: a second
+	// Submit with the same key returns the original job.
+	IdempotencyKey string
+	// Timeout bounds this job's execution; 0 falls back to the queue's
+	// DefaultTimeout.
+	Timeout time.Duration
+	// TraceID, when non-zero, parents the job's execution span so the
+	// submitting request's X-Trace-Id covers the asynchronous work.
+	TraceID trace.TraceID
+	// Fn is the job body.
+	Fn Func
+}
+
+// View is an immutable snapshot of a job, safe to serialize.
+type View struct {
+	ID             string     `json:"id"`
+	Kind           string     `json:"kind"`
+	State          State      `json:"state"`
+	IdempotencyKey string     `json:"idempotency_key,omitempty"`
+	CreatedAt      time.Time  `json:"created_at"`
+	StartedAt      *time.Time `json:"started_at,omitempty"`
+	FinishedAt     *time.Time `json:"finished_at,omitempty"`
+	// QueueWaitSeconds and ExecSeconds settle when the matching phase ends.
+	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
+	ExecSeconds      float64 `json:"exec_seconds,omitempty"`
+	Error            string  `json:"error,omitempty"`
+	Result           any     `json:"result,omitempty"`
+	TraceID          string  `json:"trace_id,omitempty"`
+}
+
+// job is the mutable record; all fields are guarded by Queue.mu.
+type job struct {
+	id       string
+	kind     string
+	key      string
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	timeout  time.Duration
+	traceID  trace.TraceID
+	fn       Func
+	result   any
+	errMsg   string
+	// cancelRequested distinguishes an explicit DELETE from a deadline
+	// expiry; cancel aborts a running job's context.
+	cancelRequested bool
+	cancel          context.CancelFunc
+	watchers        []chan View
+}
+
+func (j *job) view() View {
+	v := View{
+		ID:             j.id,
+		Kind:           j.kind,
+		State:          j.state,
+		IdempotencyKey: j.key,
+		CreatedAt:      j.created,
+		Error:          j.errMsg,
+		Result:         j.result,
+	}
+	if j.traceID != 0 {
+		v.TraceID = j.traceID.String()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+		v.QueueWaitSeconds = j.started.Sub(j.created).Seconds()
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+		if !j.started.IsZero() {
+			v.ExecSeconds = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	return v
+}
+
+// Queue is the bounded job queue. Create with New; stop with Drain or
+// Close.
+type Queue struct {
+	opts Options
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	byKey    map[string]string
+	seq      uint64
+	draining bool
+	active   int     // jobs in a non-terminal state
+	execEWMA float64 // smoothed execution seconds, feeds RetryAfter
+
+	work       chan *job
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// New builds a queue and starts its worker pool immediately.
+func New(opts Options) *Queue {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		opts:       opts,
+		jobs:       make(map[string]*job),
+		byKey:      make(map[string]string),
+		work:       make(chan *job, opts.QueueDepth),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	registerHelp(opts.Metrics)
+	q.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+func registerHelp(m *obs.Registry) {
+	for name, help := range map[string]string{
+		"jobs_queued":             "Jobs accepted but not yet running.",
+		"jobs_inflight":           "Jobs currently executing.",
+		"jobs_state_total":        "Jobs that reached a terminal state, by state.",
+		"jobs_submitted_total":    "Job submissions accepted, by kind.",
+		"jobs_rejected_total":     "Job submissions rejected, by reason (full, draining).",
+		"jobs_queue_wait_seconds": "Time from submission to execution start.",
+		"jobs_exec_seconds":       "Job execution latency.",
+	} {
+		m.SetHelp(name, help)
+	}
+}
+
+// Workers returns the worker-pool size.
+func (q *Queue) Workers() int { return q.opts.Workers }
+
+// Metrics returns the queue's metrics registry.
+func (q *Queue) Metrics() *obs.Registry { return q.opts.Metrics }
+
+// Submit enqueues a job. It fails fast with ErrQueueFull when the bounded
+// queue is at capacity and ErrDraining during shutdown. A duplicate
+// idempotency key returns the original job's view with no error.
+func (q *Queue) Submit(req Request) (View, error) {
+	if req.Fn == nil {
+		return View{}, errors.New("jobs: submit with nil Fn")
+	}
+	if req.Kind == "" {
+		req.Kind = "job"
+	}
+	q.mu.Lock()
+	if q.draining {
+		q.mu.Unlock()
+		q.opts.Metrics.Counter("jobs_rejected_total", "reason", "draining").Inc()
+		return View{}, ErrDraining
+	}
+	if req.IdempotencyKey != "" {
+		if id, ok := q.byKey[req.IdempotencyKey]; ok {
+			v := q.jobs[id].view()
+			q.mu.Unlock()
+			return v, nil
+		}
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = q.opts.DefaultTimeout
+	}
+	q.seq++
+	j := &job{
+		id:      fmt.Sprintf("j-%08d", q.seq),
+		kind:    req.Kind,
+		key:     req.IdempotencyKey,
+		state:   StateQueued,
+		created: time.Now(),
+		timeout: timeout,
+		traceID: req.TraceID,
+		fn:      req.Fn,
+	}
+	select {
+	case q.work <- j:
+	default:
+		q.mu.Unlock()
+		q.opts.Metrics.Counter("jobs_rejected_total", "reason", "full").Inc()
+		return View{}, ErrQueueFull
+	}
+	q.jobs[j.id] = j
+	if j.key != "" {
+		q.byKey[j.key] = j.id
+	}
+	q.active++
+	q.opts.Metrics.Gauge("jobs_queued").Inc()
+	q.opts.Metrics.Counter("jobs_submitted_total", "kind", j.kind).Inc()
+	v := j.view()
+	q.mu.Unlock()
+	return v, nil
+}
+
+// Get returns a job's current view.
+func (q *Queue) Get(id string) (View, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	return j.view(), true
+}
+
+// Cancel requests cancellation of a job: a queued job is canceled
+// immediately (it will never run), a running job has its context canceled
+// and settles to canceled when its Func returns, and a terminal job is
+// left untouched. The returned view reflects the post-cancel state.
+func (q *Queue) Cancel(id string) (View, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.cancelRequested = true
+		j.finished = time.Now()
+		j.errMsg = "canceled before execution"
+		q.active--
+		q.opts.Metrics.Gauge("jobs_queued").Dec()
+		q.opts.Metrics.Counter("jobs_state_total", "state", string(StateCanceled)).Inc()
+		q.notifyLocked(j)
+		q.cond.Broadcast()
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.view(), true
+}
+
+// Watch subscribes to a job's state transitions: the current view is
+// returned immediately, and every subsequent transition (including the
+// terminal one, after which the channel closes) arrives on ch. cancel
+// unsubscribes; it is safe to call after the channel closed.
+func (q *Queue) Watch(id string) (cur View, ch <-chan View, cancel func(), ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return View{}, nil, nil, false
+	}
+	// A job emits at most queued→running→terminal after subscription, so a
+	// small buffer guarantees delivery without blocking the worker.
+	c := make(chan View, 4)
+	if j.state.Terminal() {
+		close(c)
+		return j.view(), c, func() {}, true
+	}
+	j.watchers = append(j.watchers, c)
+	cancelFn := func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		for i, w := range j.watchers {
+			if w == c {
+				j.watchers = append(j.watchers[:i], j.watchers[i+1:]...)
+				return
+			}
+		}
+	}
+	return j.view(), c, cancelFn, true
+}
+
+// notifyLocked fans a job's current view out to its watchers, closing them
+// on a terminal transition. Callers hold q.mu.
+func (q *Queue) notifyLocked(j *job) {
+	if len(j.watchers) == 0 {
+		return
+	}
+	v := j.view()
+	for _, w := range j.watchers {
+		select {
+		case w <- v:
+		default: // a stalled subscriber must not block the worker
+		}
+	}
+	if j.state.Terminal() {
+		for _, w := range j.watchers {
+			close(w)
+		}
+		j.watchers = nil
+	}
+}
+
+// RetryAfter suggests a client backoff for a full queue: the estimated
+// time for the pool to absorb the current backlog, at least one second.
+func (q *Queue) RetryAfter() time.Duration {
+	q.mu.Lock()
+	avg := q.execEWMA
+	q.mu.Unlock()
+	if avg <= 0 {
+		avg = 1
+	}
+	secs := avg * float64(len(q.work)+1) / float64(q.opts.Workers)
+	if secs < 1 {
+		secs = 1
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// Drain stops accepting new jobs, lets queued and running jobs finish, and
+// returns when the queue is idle. If ctx expires first, the remaining jobs
+// are canceled and ctx.Err is returned after they settle.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.beginDrain()
+	idle := make(chan struct{})
+	go func() {
+		q.mu.Lock()
+		for q.active > 0 {
+			q.cond.Wait()
+		}
+		q.mu.Unlock()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		q.wg.Wait()
+		return nil
+	case <-ctx.Done():
+		q.rootCancel() // abort running jobs; workers settle them promptly
+		<-idle
+		q.wg.Wait()
+		return ctx.Err()
+	}
+}
+
+// Close drains with immediate cancellation: running jobs are aborted.
+func (q *Queue) Close() {
+	q.beginDrain()
+	q.rootCancel()
+	q.mu.Lock()
+	for q.active > 0 {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+// beginDrain flips the queue into draining mode exactly once and closes
+// the work channel so workers exit after emptying it.
+func (q *Queue) beginDrain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return
+	}
+	q.draining = true
+	close(q.work)
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.work {
+		q.run(j)
+	}
+}
+
+// run executes one dequeued job through its full lifecycle.
+func (q *Queue) run(j *job) {
+	q.mu.Lock()
+	if j.state != StateQueued { // canceled while queued; already settled
+		q.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	ctx := q.rootCtx
+	var cancel context.CancelFunc
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, j.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.cancel = cancel
+	m := q.opts.Metrics
+	m.Gauge("jobs_queued").Dec()
+	m.Gauge("jobs_inflight").Inc()
+	m.Histogram("jobs_queue_wait_seconds", obs.DefaultLatencyBuckets).
+		Observe(j.started.Sub(j.created).Seconds())
+	q.notifyLocked(j)
+	q.mu.Unlock()
+
+	var sp *trace.Span
+	if q.opts.Tracer.Enabled() {
+		attrs := []trace.Attr{
+			trace.String("job", j.id), trace.String("kind", j.kind),
+		}
+		if j.traceID != 0 {
+			sp = q.opts.Tracer.StartTrace(j.traceID, "job.exec", attrs...)
+		} else {
+			sp = q.opts.Tracer.Start("job.exec", attrs...)
+		}
+		ctx = trace.ContextWithSpan(ctx, sp)
+	}
+
+	result, err := runSafely(ctx, j.fn)
+	cancel()
+
+	q.mu.Lock()
+	j.cancel = nil
+	j.finished = time.Now()
+	exec := j.finished.Sub(j.started).Seconds()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+	case j.cancelRequested && errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.errMsg = "canceled while running"
+	case errors.Is(err, context.Canceled) && q.rootCtx.Err() != nil:
+		j.state = StateCanceled
+		j.errMsg = "canceled by queue shutdown"
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	m.Gauge("jobs_inflight").Dec()
+	m.Counter("jobs_state_total", "state", string(j.state)).Inc()
+	m.Histogram("jobs_exec_seconds", obs.DefaultLatencyBuckets).Observe(exec)
+	// EWMA with a 0.3 step: responsive to load shifts, stable per sample.
+	if q.execEWMA == 0 {
+		q.execEWMA = exec
+	} else {
+		q.execEWMA += 0.3 * (exec - q.execEWMA)
+	}
+	q.active--
+	state := j.state
+	q.notifyLocked(j)
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	if sp != nil {
+		sp.SetAttrs(trace.String("state", string(state)))
+		if err != nil {
+			sp.SetAttrs(trace.String("error", err.Error()))
+		}
+		sp.End()
+	}
+}
+
+// runSafely invokes fn, converting a panic into an error so one bad job
+// cannot take down a worker.
+func runSafely(ctx context.Context, fn Func) (result any, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("jobs: job panicked: %v", v)
+		}
+	}()
+	return fn(ctx)
+}

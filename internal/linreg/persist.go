@@ -1,0 +1,53 @@
+package linreg
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Persistence: a fitted model's weights serialize with gob, mirroring
+// internal/neural/persist.go so both Approx-MaMoRL model families deploy
+// through the same registry blob machinery.
+
+// modelFile is the serialized form.
+type modelFile struct {
+	Version   int
+	Weights   []float64
+	Intercept float64
+}
+
+const modelFileVersion = 1
+
+// Save writes the model's weights and intercept.
+func (m *Model) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(modelFile{
+		Version:   modelFileVersion,
+		Weights:   m.Weights,
+		Intercept: m.Intercept,
+	})
+}
+
+// Load reads a model saved by Save.
+func Load(r io.Reader) (*Model, error) {
+	var mf modelFile
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("linreg: load: %w", err)
+	}
+	if mf.Version != modelFileVersion {
+		return nil, fmt.Errorf("linreg: file version %d, want %d", mf.Version, modelFileVersion)
+	}
+	if len(mf.Weights) == 0 {
+		return nil, fmt.Errorf("linreg: malformed model file: no weights")
+	}
+	for i, v := range mf.Weights {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("linreg: malformed model file: non-finite weight %d", i)
+		}
+	}
+	if math.IsNaN(mf.Intercept) || math.IsInf(mf.Intercept, 0) {
+		return nil, fmt.Errorf("linreg: malformed model file: non-finite intercept")
+	}
+	return &Model{Weights: mf.Weights, Intercept: mf.Intercept}, nil
+}

@@ -1,0 +1,186 @@
+package tmplar
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/routeplanning/mamorl/internal/jobs"
+	"github.com/routeplanning/mamorl/internal/trace"
+)
+
+// Async planning API: submit a plan as a job, poll or stream its status,
+// cancel it. The job plane decouples slow missions from HTTP connections —
+// a 30-second plan no longer occupies a connection, and the bounded queue
+// gives the service real backpressure (429 + Retry-After) instead of
+// unbounded goroutine pileup.
+
+// JobPlanRequest is the POST /api/jobs/plan body: a plan request plus an
+// optional idempotency key (the Idempotency-Key header is honored when the
+// field is empty).
+type JobPlanRequest struct {
+	PlanRequest
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+}
+
+// jobsUnavailable answers for hand-built servers without a queue.
+func (s *Server) jobsUnavailable(w http.ResponseWriter) bool {
+	if s.jobs == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"job queue not available"})
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.jobsUnavailable(w) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxPlanBytes)
+	var req JobPlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		if tooLarge(err) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorResponse{"invalid JSON: " + err.Error()})
+		return
+	}
+	key := req.IdempotencyKey
+	if key == "" {
+		key = r.Header.Get("Idempotency-Key")
+	}
+	// Reject the obvious 4xx cases synchronously; a job that cannot plan
+	// should not occupy queue capacity.
+	if _, ok := s.lookupGrid(req.Grid); !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("unknown grid %q", req.Grid)})
+		return
+	}
+	if len(req.Assets) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"no assets"})
+		return
+	}
+
+	var traceID trace.TraceID
+	if sp := trace.SpanFromContext(r.Context()); sp != nil {
+		traceID = sp.TraceID
+	}
+	plan := req.PlanRequest
+	view, err := s.jobs.Submit(jobs.Request{
+		Kind:           "plan",
+		IdempotencyKey: key,
+		Timeout:        s.deadlineFor(plan),
+		TraceID:        traceID,
+		Fn: func(ctx context.Context) (any, error) {
+			resp, _, err := s.plan(ctx, plan)
+			if err != nil {
+				return nil, err
+			}
+			return resp, nil
+		},
+	})
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		retry := int(s.jobs.RetryAfter().Seconds() + 0.5)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			fmt.Sprintf("job queue full; retry after %ds", retry)})
+		return
+	case errors.Is(err, jobs.ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"server draining; not accepting jobs"})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	w.Header().Set("Location", "/api/jobs/"+view.ID)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if s.jobsUnavailable(w) {
+		return
+	}
+	view, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if s.jobsUnavailable(w) {
+		return
+	}
+	view, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleJobEvents streams a job's state transitions as SSE, one
+//
+//	event: state
+//	data: {job view JSON}
+//
+// frame per transition starting with the current state, and closes after
+// the terminal one. It reuses the obs SSE conventions (anti-buffering
+// headers, flush per frame) so the same clients work on both streams.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	if s.jobsUnavailable(w) {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{"streaming unsupported"})
+		return
+	}
+	cur, ch, cancel, ok := s.jobs.Watch(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown job"})
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	write := func(v jobs.View) bool {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: state\ndata: %s\n\n", b); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	if !write(cur) || cur.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case v, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !write(v) || v.State.Terminal() {
+				return
+			}
+		}
+	}
+}

@@ -20,7 +20,7 @@ func TestReadyz(t *testing.T) {
 	empty := &Server{
 		grids: make(map[string]*grid.Grid),
 		model: base.model,
-		pipe:  base.pipe,
+		ext:   base.ext,
 		opts:  Options{}.withDefaults(),
 	}
 	rec := do(t, empty.Handler(), "GET", "/readyz", nil)

@@ -25,10 +25,13 @@ import (
 
 	"github.com/routeplanning/mamorl/internal/approx"
 	"github.com/routeplanning/mamorl/internal/baselines"
+	"github.com/routeplanning/mamorl/internal/features"
 	"github.com/routeplanning/mamorl/internal/geo"
 	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/jobs"
 	"github.com/routeplanning/mamorl/internal/obs"
 	"github.com/routeplanning/mamorl/internal/partial"
+	"github.com/routeplanning/mamorl/internal/registry"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
 	"github.com/routeplanning/mamorl/internal/trace"
@@ -70,6 +73,18 @@ type Options struct {
 	// history ring size. <= 0 selects the obs package defaults.
 	SampleInterval time.Duration
 	SampleCapacity int
+	// ModelDir, when non-empty, enables the persistent model registry at
+	// that directory: the server warm-starts from the latest matching
+	// artifact instead of retraining, and registers a freshly trained
+	// model back into the store on a miss.
+	ModelDir string
+	// JobWorkers and JobQueueDepth size the async planning job queue
+	// behind /api/jobs; <= 0 selects the jobs package defaults.
+	JobWorkers    int
+	JobQueueDepth int
+	// JobTimeout bounds one async planning job's execution; <= 0 falls
+	// back to PlanTimeout.
+	JobTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -88,19 +103,37 @@ func (o Options) withDefaults() Options {
 	if o.TraceBuffer <= 0 {
 		o.TraceBuffer = DefaultTraceBuffer
 	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = o.PlanTimeout
+	}
 	return o
 }
+
+// Model provenance values reported by ModelSource, /readyz and the
+// startup log.
+const (
+	// ModelSourceTrained marks a model fitted by this process at startup.
+	ModelSourceTrained = "trained"
+	// ModelSourceRegistry marks a model warm-started from a registry
+	// artifact, skipping the Section 4.2 training cost entirely.
+	ModelSourceRegistry = "registry"
+)
 
 // Server is the TMPLAR-style planning service.
 type Server struct {
 	mu      sync.RWMutex
 	grids   map[string]*grid.Grid
 	model   *approx.LinearModel
-	pipe    *approx.Pipeline
+	ext     features.Extractor
 	opts    Options
 	ring    *trace.Ring
 	tracer  *trace.Tracer
 	sampler *obs.Sampler
+	jobs    *jobs.Queue
+	// modelSource/modelArtifact record where the model came from:
+	// ("trained", artifact-id-or-empty) or ("registry", artifact-id).
+	modelSource   string
+	modelArtifact string
 }
 
 // NewServer trains the Approx-MaMoRL model (Section 4.2's pipeline) and
@@ -109,19 +142,19 @@ func NewServer(seed int64) (*Server, error) {
 	return NewServerOpts(seed, Options{})
 }
 
-// NewServerOpts is NewServer with explicit serving options.
+// NewServerOpts builds the service. With Options.ModelDir set, the model
+// is warm-started from the newest registry artifact matching this seed's
+// training grid (train-and-register only on a miss); otherwise the
+// Section 4.2 pipeline runs in-process as before.
 func NewServerOpts(seed int64, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	registerHelp(opts.Metrics)
 	ring := trace.NewRing(opts.TraceBuffer)
 	tracer := trace.New(ring, trace.NewHistogramSink(opts.Metrics))
-	pipe, err := approx.NewPipeline(approx.TrainConfig{Seed: seed, Tracer: tracer})
+
+	model, ext, source, artifact, err := loadOrTrainModel(seed, opts, tracer)
 	if err != nil {
-		return nil, fmt.Errorf("tmplar: training pipeline: %w", err)
-	}
-	model, _, err := approx.FitLinear(pipe.Data)
-	if err != nil {
-		return nil, fmt.Errorf("tmplar: model fit: %w", err)
+		return nil, err
 	}
 	// The sampler folds Go runtime telemetry into the registry on every tick,
 	// so the dashboard shows heap/GC/goroutine series alongside service ones.
@@ -131,15 +164,111 @@ func NewServerOpts(seed int64, opts Options) (*Server, error) {
 		Capacity: opts.SampleCapacity,
 		OnTick:   []func(){rc.Collect},
 	})
+	queue := jobs.New(jobs.Options{
+		Workers:        opts.JobWorkers,
+		QueueDepth:     opts.JobQueueDepth,
+		DefaultTimeout: opts.JobTimeout,
+		Metrics:        opts.Metrics,
+		Tracer:         tracer,
+	})
 	return &Server{
-		grids:   make(map[string]*grid.Grid),
-		model:   model,
-		pipe:    pipe,
-		opts:    opts,
-		ring:    ring,
-		tracer:  tracer,
-		sampler: sampler,
+		grids:         make(map[string]*grid.Grid),
+		model:         model,
+		ext:           ext,
+		opts:          opts,
+		ring:          ring,
+		tracer:        tracer,
+		sampler:       sampler,
+		jobs:          queue,
+		modelSource:   source,
+		modelArtifact: artifact,
 	}, nil
+}
+
+// loadOrTrainModel resolves the serving model: from the registry when
+// ModelDir holds an artifact trained on this seed's exact training grid,
+// else by running the training pipeline (and registering the result when a
+// registry is configured). A corrupt or mismatched artifact falls through
+// to training — the registry is a cache, never a correctness dependency.
+func loadOrTrainModel(seed int64, opts Options, tracer *trace.Tracer) (*approx.LinearModel, features.Extractor, string, string, error) {
+	var store *registry.Store
+	if opts.ModelDir != "" {
+		var err error
+		store, err = registry.Open(opts.ModelDir)
+		if err != nil {
+			return nil, features.Extractor{}, "", "", fmt.Errorf("tmplar: model registry: %w", err)
+		}
+		tg, err := approx.DefaultTrainingGrid(seed)
+		if err != nil {
+			return nil, features.Extractor{}, "", "", fmt.Errorf("tmplar: training grid: %w", err)
+		}
+		fp := tg.Fingerprint()
+		man, err := store.ResolveMatch(func(m registry.Manifest) bool {
+			return m.Kind == registry.KindLinreg && m.Grid == tg.Name() &&
+				m.GridFingerprint == fp && m.Seed == seed
+		})
+		if err == nil {
+			model, lerr := registry.LoadLinear(store, man)
+			if lerr == nil {
+				return model, features.New(), ModelSourceRegistry, man.ID, nil
+			}
+			if opts.Logger != nil {
+				opts.Logger.Warn("registry artifact unusable; retraining",
+					"artifact", man.ID, "err", lerr)
+			}
+		}
+	}
+
+	cfg := approx.TrainConfig{Seed: seed, Tracer: tracer}
+	pipe, err := approx.NewPipeline(cfg)
+	if err != nil {
+		return nil, features.Extractor{}, "", "", fmt.Errorf("tmplar: training pipeline: %w", err)
+	}
+	model, _, err := approx.FitLinear(pipe.Data)
+	if err != nil {
+		return nil, features.Extractor{}, "", "", fmt.Errorf("tmplar: model fit: %w", err)
+	}
+	artifact := ""
+	if store != nil {
+		man, perr := registry.PutLinear(store, model, registry.TrainMeta(pipe.Scenario.Grid, cfg))
+		if perr != nil {
+			if opts.Logger != nil {
+				opts.Logger.Warn("could not register trained model", "err", perr)
+			}
+		} else {
+			artifact = man.ID
+		}
+	}
+	return model, pipe.Extractor, ModelSourceTrained, artifact, nil
+}
+
+// ModelSource reports where the serving model came from: "registry" (and
+// the artifact ID) for a warm start, "trained" for an in-process fit (the
+// artifact ID is the newly registered one when a ModelDir is configured).
+func (s *Server) ModelSource() (source, artifactID string) {
+	return s.modelSource, s.modelArtifact
+}
+
+// JobQueue returns the async planning job queue (nil only for hand-built
+// servers that bypassed NewServerOpts).
+func (s *Server) JobQueue() *jobs.Queue { return s.jobs }
+
+// DrainJobs stops accepting new jobs and waits for queued and running ones
+// to finish, canceling whatever is still in flight when ctx expires. Call
+// during graceful shutdown, after the HTTP listener stops.
+func (s *Server) DrainJobs(ctx context.Context) error {
+	if s.jobs == nil {
+		return nil
+	}
+	return s.jobs.Drain(ctx)
+}
+
+// Close releases the server's background resources (the job queue's
+// workers), aborting any jobs still in flight.
+func (s *Server) Close() {
+	if s.jobs != nil {
+		s.jobs.Close()
+	}
 }
 
 // registerHelp documents the server's metric names for the Prometheus
@@ -201,6 +330,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/grids", s.handleUploadGrid)
 	mux.HandleFunc("POST /api/plan", s.handlePlanGlobal)
 	mux.HandleFunc("POST /api/plan/asset", s.handlePlanLocal)
+	mux.HandleFunc("POST /api/jobs/plan", s.handleJobSubmit)
+	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /api/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /api/jobs/{id}/events", s.handleJobEvents)
 	mux.Handle("GET /metrics", obs.Handler(s.opts.Metrics))
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/metrics/stream", s.handleStream)
@@ -497,15 +630,24 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	grids := len(s.grids)
 	modelLoaded := s.model != nil
 	s.mu.RUnlock()
+	body := map[string]any{
+		"status": "ready", "grids": grids, "model_loaded": modelLoaded,
+	}
+	// Provenance: a registry warm start means the server was ready the
+	// moment it came up, without paying the training cost; operators can
+	// see which artifact is serving.
+	if s.modelSource != "" {
+		body["model_source"] = s.modelSource
+	}
+	if s.modelArtifact != "" {
+		body["model_artifact"] = s.modelArtifact
+	}
 	if !modelLoaded || grids == 0 {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "not ready", "grids": grids, "model_loaded": modelLoaded,
-		})
+		body["status"] = "not ready"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ready", "grids": grids, "model_loaded": modelLoaded,
-	})
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleStream serves the sampler's history and live samples over SSE.
@@ -714,13 +856,13 @@ func (s *Server) plan(ctx context.Context, req PlanRequest) (*PlanResponse, int,
 	collision := sim.RecordCollisions
 	switch req.Algorithm {
 	case "", "approx":
-		planner = approx.NewPlanner(s.model, s.pipe.Extractor, req.Seed)
+		planner = approx.NewPlanner(s.model, s.ext, req.Seed)
 	case "approx-pk":
 		if req.Region == nil {
 			return nil, http.StatusBadRequest, fmt.Errorf("approx-pk requires a region")
 		}
 		rect := geo.Rect(*req.Region)
-		inner := approx.NewPlanner(s.model, s.pipe.Extractor, req.Seed)
+		inner := approx.NewPlanner(s.model, s.ext, req.Seed)
 		pk, err := partial.NewPlanner(sc, rect, inner)
 		if err != nil {
 			return nil, http.StatusBadRequest, err

@@ -479,7 +479,7 @@ func derivedServer(t *testing.T, opts Options) *Server {
 	s := &Server{
 		grids: make(map[string]*grid.Grid),
 		model: base.model,
-		pipe:  base.pipe,
+		ext:   base.ext,
 		opts:  opts.withDefaults(),
 	}
 	g, ok := base.lookupGrid("ops-area")

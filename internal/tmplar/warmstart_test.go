@@ -1,0 +1,145 @@
+package tmplar
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/grid"
+)
+
+// TestWarmStartFromRegistry pins the registry contract end to end: the
+// first server with a -model-dir trains and registers its model; a second
+// server with the same dir and seed warm-starts from the artifact without
+// retraining and serves byte-for-byte identical plans; a corrupted artifact
+// falls back to training instead of serving wrong weights.
+func TestWarmStartFromRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the model twice")
+	}
+	dir := t.TempDir()
+	const seed = 23
+
+	opsGrid := func(t *testing.T) *grid.Grid {
+		g, err := grid.GenerateSynthetic(grid.SyntheticConfig{
+			Name: "warm-ops", Nodes: 120, Edges: 260, MaxOutDegree: 8, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	planBytes := func(t *testing.T, s *Server) []byte {
+		req := PlanRequest{
+			Grid: "warm-ops",
+			Assets: []AssetSpec{
+				{Source: 0, SensingRadius: 10, MaxSpeed: 3},
+				{Source: 60, SensingRadius: 10, MaxSpeed: 3},
+			},
+			Destination: 110,
+			Seed:        5,
+		}
+		rec := do(t, s.Handler(), "POST", "/api/plan", req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("plan: %d %s", rec.Code, rec.Body.String())
+		}
+		return rec.Body.Bytes()
+	}
+
+	// Cold start: trains and registers.
+	s1, err := NewServerOpts(seed, Options{ModelDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	src1, artifact1 := s1.ModelSource()
+	if src1 != ModelSourceTrained || artifact1 == "" {
+		t.Fatalf("cold start: source=%s artifact=%q, want trained + registered ID", src1, artifact1)
+	}
+	s1.InstallGrid(opsGrid(t))
+	first := planBytes(t, s1)
+
+	// Restart: must warm-start from the artifact and plan identically.
+	s2, err := NewServerOpts(seed, Options{ModelDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	src2, artifact2 := s2.ModelSource()
+	if src2 != ModelSourceRegistry {
+		t.Fatalf("restart: source=%s, want registry", src2)
+	}
+	if artifact2 != artifact1 {
+		t.Fatalf("restart resolved artifact %s, want %s", artifact2, artifact1)
+	}
+	s2.InstallGrid(opsGrid(t))
+	if second := planBytes(t, s2); !bytes.Equal(first, second) {
+		t.Fatalf("warm-started plan differs from cold-start plan:\n%s\nvs\n%s", first, second)
+	}
+
+	// /readyz reports the provenance: a warm-started server is ready with
+	// the registry artifact named.
+	rec := do(t, s2.Handler(), "GET", "/readyz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz: %d %s", rec.Code, rec.Body.String())
+	}
+	var ready map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready["model_source"] != ModelSourceRegistry || ready["model_artifact"] != artifact1 {
+		t.Fatalf("readyz provenance: %v", ready)
+	}
+
+	// A different seed is a registry miss, never a wrong-model hit.
+	s3, err := NewServerOpts(seed+1, Options{ModelDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if src, _ := s3.ModelSource(); src != ModelSourceTrained {
+		t.Fatalf("other seed warm-started: source=%s", src)
+	}
+
+	// Corrupt every blob: the next start must detect it and retrain.
+	blobs, err := filepath.Glob(filepath.Join(dir, "blobs", "*.gob"))
+	if err != nil || len(blobs) == 0 {
+		t.Fatalf("no blobs to corrupt: %v", err)
+	}
+	for _, b := range blobs {
+		data, err := os.ReadFile(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(b, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s4, err := NewServerOpts(seed, Options{ModelDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s4.Close()
+	if src, _ := s4.ModelSource(); src != ModelSourceTrained {
+		t.Fatalf("corrupt artifact warm-started: source=%s", src)
+	}
+	s4.InstallGrid(opsGrid(t))
+	if recovered := planBytes(t, s4); !bytes.Equal(first, recovered) {
+		t.Fatal("retrained-after-corruption plan differs from the original")
+	}
+
+	// s4's re-registration healed the blob in place, so the next restart
+	// warm-starts again.
+	s5, err := NewServerOpts(seed, Options{ModelDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s5.Close()
+	if src, _ := s5.ModelSource(); src != ModelSourceRegistry {
+		t.Fatalf("healed registry did not warm-start: source=%s", src)
+	}
+}

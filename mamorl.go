@@ -45,6 +45,7 @@ import (
 	"github.com/routeplanning/mamorl/internal/neural"
 	"github.com/routeplanning/mamorl/internal/obs"
 	"github.com/routeplanning/mamorl/internal/partial"
+	"github.com/routeplanning/mamorl/internal/registry"
 	"github.com/routeplanning/mamorl/internal/render"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
@@ -197,6 +198,7 @@ type NeuralTrainOptions = neural.TrainOptions
 // stand-ins for the Teammate and Learning Modules.
 type Model struct {
 	pipe   *approx.Pipeline // nil when the model was loaded from disk
+	cfg    TrainConfig      // the config Train was called with
 	ext    features.Extractor
 	linear *approx.LinearModel
 	nn     *approx.NeuralModel
@@ -214,7 +216,7 @@ func Train(cfg TrainConfig) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Model{pipe: pipe, ext: pipe.Extractor, linear: lin}, nil
+	return &Model{pipe: pipe, cfg: cfg, ext: pipe.Extractor, linear: lin}, nil
 }
 
 // Save persists the linear model's weights as JSON (the whole deployable
@@ -270,6 +272,32 @@ func (m *Model) NewPartialKnowledgePlanner(sc Scenario, region Rect, seed int64)
 // ModelBytes reports the linear model's parameter footprint in bytes (the
 // whole planner state Approx-MaMoRL deploys per asset).
 func (m *Model) ModelBytes() int { return m.linear.Bytes() }
+
+// --- Model registry -----------------------------------------------------------
+
+// ModelRegistry is a content-addressed, versioned store of trained model
+// artifacts (manifest JSON + gob weight blobs). tmplard warm-starts from one
+// via TMPLAROptions.ModelDir; `mamorl train -model-dir` populates one.
+type ModelRegistry = registry.Store
+
+// ModelManifest describes one stored artifact: kind, training grid name and
+// fingerprint, seed, training params, and the weight blob's SHA-256.
+type ModelManifest = registry.Manifest
+
+// OpenModelRegistry opens (creating if necessary) a model registry rooted at
+// dir.
+func OpenModelRegistry(dir string) (*ModelRegistry, error) { return registry.Open(dir) }
+
+// SaveToRegistry registers the model's linear weights under its training
+// provenance (grid, seed, params). Registering the same trained model twice
+// is idempotent: the artifact is content-addressed. It fails on models
+// loaded from disk, whose training grid is not persisted.
+func (m *Model) SaveToRegistry(reg *ModelRegistry) (ModelManifest, error) {
+	if m.pipe == nil {
+		return ModelManifest{}, errors.New("mamorl: SaveToRegistry needs a freshly trained model (the training grid is not persisted)")
+	}
+	return registry.PutLinear(reg, m.linear, registry.TrainMeta(m.pipe.Scenario.Grid, m.cfg))
+}
 
 // --- Exact MaMoRL -------------------------------------------------------------
 

@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_5.json
 # bench-compare inputs: the stored baseline and the report to vet against it.
-BENCH_OLD ?= BENCH_3.json
+BENCH_OLD ?= BENCH_4.json
 BENCH_NEW ?= $(BENCH_OUT)
 BENCH_THRESHOLD ?= 15
 
@@ -25,10 +25,10 @@ race:
 
 # race-exec focuses the detector on the parallel experiment executor, the
 # simulator it fans out over, the lock-free trace ring they emit into, the
-# metrics sampler/SSE fan-out, the async job queue, and the model registry
-# (the packages with real concurrency).
+# metrics sampler/SSE fan-out, the async job queue, the resource-budget
+# accounting, and the model registry (the packages with real concurrency).
 race-exec:
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/... ./internal/obs/... ./internal/jobs/... ./internal/registry/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/... ./internal/obs/... ./internal/jobs/... ./internal/limits/... ./internal/registry/...
 
 # check is what CI runs (.github/workflows/ci.yml).
 check: build vet fmt-check test race

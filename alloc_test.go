@@ -12,6 +12,7 @@ import (
 	"github.com/routeplanning/mamorl/internal/approx"
 	"github.com/routeplanning/mamorl/internal/experiments"
 	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/limits"
 	"github.com/routeplanning/mamorl/internal/sim"
 )
 
@@ -66,6 +67,29 @@ func TestDecideAllocs(t *testing.T) {
 	})
 	if avg > 2.5 {
 		t.Fatalf("Decide allocates %.2f objects/call on average, want <= 2.5 (was ~36 before the scratch rework)", avg)
+	}
+}
+
+// TestDecideWithBudgetAllocs: attaching a resource budget must add zero
+// allocations to the Decide hot path — Charge is atomic-add accounting on a
+// preallocated object, with the nil-receiver fast path covering the
+// no-budget configuration (pinned separately in internal/limits).
+func TestDecideWithBudgetAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool bypass its cache, inflating the count")
+	}
+	m, pl, n := allocFixture(t)
+	pl.SetBudget(limits.New(limits.Limits{Nodes: 1 << 40}))
+	for i := 0; i < 64; i++ {
+		_ = pl.Decide(m, i%n)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(256, func() {
+		_ = pl.Decide(m, i%n)
+		i++
+	})
+	if avg > 2.5 {
+		t.Fatalf("budgeted Decide allocates %.2f objects/call on average, want <= 2.5 (same pin as unbudgeted)", avg)
 	}
 }
 

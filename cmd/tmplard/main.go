@@ -88,6 +88,12 @@ func main() {
 		jobWorkers  = flag.Int("job-workers", 0, "async planning worker pool size (0 = default)")
 		jobQueue    = flag.Int("job-queue", 0, "async planning queue depth before 429 backpressure (0 = default)")
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution deadline (0 = plan-timeout)")
+		jobRetain   = flag.Duration("job-retention", 0, "how long finished job records stay queryable (0 = default 15m, negative = forever)")
+		jobRecords  = flag.Int("job-max-records", 0, "finished job records retained before eviction (0 = default 10000, negative = unbounded)")
+		maxNodes    = flag.Int64("max-nodes", 0, "per-request budget: planner node expansions (0 = unlimited; 429 when exhausted)")
+		maxSamples  = flag.Int64("max-samples", 0, "per-request budget: training samples drawn (0 = unlimited; 429 when exhausted)")
+		maxBytes    = flag.Int64("max-bytes", 0, "per-request budget: approximate bytes allocated (0 = unlimited; 429 when exhausted)")
+		sseKeep     = flag.Duration("sse-keepalive", 0, "SSE idle keep-alive interval (0 = default 15s, negative = disabled)")
 		version     = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
@@ -130,6 +136,12 @@ func main() {
 		JobWorkers:     *jobWorkers,
 		JobQueueDepth:  *jobQueue,
 		JobTimeout:     *jobTimeout,
+		JobRetention:   *jobRetain,
+		JobMaxRecords:  *jobRecords,
+		MaxNodes:       *maxNodes,
+		MaxSamples:     *maxSamples,
+		MaxBytes:       *maxBytes,
+		SSEKeepAlive:   *sseKeep,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/routeplanning/mamorl/internal/limits"
 	"github.com/routeplanning/mamorl/internal/linreg"
 	"github.com/routeplanning/mamorl/internal/neural"
 )
@@ -48,12 +49,19 @@ func (m *LinearModel) Name() string { return "Approx-MaMoRL" }
 // FitLinear fits the linear model pair by least squares (Equations 10 and
 // 12) and reports the training wall time (the Figure 3 comparison metric).
 func FitLinear(data *TrainingData) (*LinearModel, time.Duration, error) {
+	return FitLinearBudget(data, nil)
+}
+
+// FitLinearBudget is FitLinear with the rows and solver workspace charged
+// against b (nil fits unlimited).
+func FitLinearBudget(data *TrainingData, b *limits.Budget) (*LinearModel, time.Duration, error) {
 	start := time.Now()
-	tmm, err := linreg.Fit(data.TMMX, data.TMMY, linreg.Options{FitIntercept: true, Ridge: 1e-6})
+	opts := linreg.Options{FitIntercept: true, Ridge: 1e-6, Budget: b}
+	tmm, err := linreg.Fit(data.TMMX, data.TMMY, opts)
 	if err != nil {
 		return nil, 0, fmt.Errorf("approx: TMM fit: %w", err)
 	}
-	lm, err := linreg.Fit(data.LMX, data.LMY, linreg.Options{FitIntercept: true, Ridge: 1e-6})
+	lm, err := linreg.Fit(data.LMX, data.LMY, opts)
 	if err != nil {
 		return nil, 0, fmt.Errorf("approx: LM fit: %w", err)
 	}

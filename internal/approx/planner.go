@@ -6,6 +6,7 @@ import (
 
 	"github.com/routeplanning/mamorl/internal/features"
 	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/limits"
 	"github.com/routeplanning/mamorl/internal/sim"
 	"github.com/routeplanning/mamorl/internal/vessel"
 )
@@ -46,6 +47,11 @@ type Planner struct {
 	nav        *sim.Navigator
 	opts       Options
 	seed       int64
+	// budget, when non-nil, is charged one Nodes unit per candidate action
+	// evaluated (own moves and TMM teammate rollouts). The nil fast path
+	// keeps Decide at its pinned allocation count; exhaustion is observed
+	// by the mission loop polling the same budget, not here.
+	budget *limits.Budget
 
 	// Per-decision scratch, reused across Decide calls so the steady-state
 	// planning path allocates nothing. A planner serves one mission at a
@@ -156,6 +162,13 @@ func (p *Planner) WithMask(mask func(grid.NodeID) bool) *Planner {
 // MaskedTo implements partial.Maskable.
 func (p *Planner) MaskedTo(mask func(grid.NodeID) bool) sim.Planner { return p.WithMask(mask) }
 
+// SetBudget attaches a resource budget charged for every candidate node
+// the planner expands; the same budget should be passed to the mission via
+// sim.RunOptions.Budget so exhaustion aborts the run. Copies made by
+// WithDestHint/WithMask share the budget — it is request-scoped, not
+// planner-scoped. A nil budget (the default) costs nothing.
+func (p *Planner) SetBudget(b *limits.Budget) { p.budget = b }
+
 // Name implements sim.Planner.
 func (p *Planner) Name() string { return p.name }
 
@@ -193,6 +206,7 @@ func (p *Planner) Decide(m *sim.Mission, i int) sim.Action {
 	anyAlpha := false
 	ctx := p.ext.LMContextInto(&p.lmCtx, m, i, dest)
 	p.actBuf = m.AppendLegalActionsFor(p.actBuf[:0], i)
+	_ = p.budget.Charge(limits.Nodes, int64(len(p.actBuf)))
 	for _, a := range p.actBuf {
 		if !a.IsWait() {
 			to, _ := m.Apply(m.Cur(i), a)
@@ -277,6 +291,7 @@ func (p *Planner) predictTeammateNodes(m *sim.Mission, i int, dest features.Dest
 		bestTo := vj
 		ctx := p.ext.TMMContextInto(&p.tmmCtx, m, i, j, dest)
 		p.actBuf = sim.AppendLegalActions(p.actBuf[:0], g, vj, sc.Team[j].MaxSpeed)
+		_ = p.budget.Charge(limits.Nodes, int64(len(p.actBuf)))
 		for _, a := range p.actBuf {
 			p.featBuf = ctx.AppendFeatures(p.featBuf[:0], a)
 			pv := p.model.PredictTMM(p.featBuf)

@@ -12,6 +12,7 @@ import (
 
 	"github.com/routeplanning/mamorl/internal/core"
 	"github.com/routeplanning/mamorl/internal/features"
+	"github.com/routeplanning/mamorl/internal/limits"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
 	"github.com/routeplanning/mamorl/internal/trace"
@@ -91,6 +92,10 @@ type CollectOptions struct {
 	// Tracer, when non-nil, records one "sample.episode" span per sampling
 	// mission with the cumulative sample counts.
 	Tracer *trace.Tracer
+	// Budget, when non-nil, is charged one Samples unit (plus the row's
+	// approximate Bytes) per harvested regression sample; collection aborts
+	// between episodes once it is exhausted. nil collects unlimited.
+	Budget *limits.Budget
 }
 
 func (o CollectOptions) withDefaults() CollectOptions {
@@ -117,6 +122,12 @@ func CollectSamples(pl *core.Planner, opts CollectOptions) (*TrainingData, error
 	data := &TrainingData{}
 	w := opts.Weights.Normalized()
 
+	// charge bills one harvested row: one sample plus its feature-vector
+	// bytes (8 per float64 plus the slice header).
+	charge := func(x []float64) {
+		_ = opts.Budget.Charge(limits.Samples, 1)
+		_ = opts.Budget.Charge(limits.Bytes, int64(8*len(x)+24))
+	}
 	collect := func(m *sim.Mission, _ []sim.Action) {
 		n := m.NumAssets()
 		for i := 0; i < n; i++ {
@@ -131,15 +142,21 @@ func CollectSamples(pl *core.Planner, opts CollectOptions) (*TrainingData, error
 					continue // degenerate (should not happen): skip sample
 				}
 				for aIdx, a := range acts {
-					data.TMMX = append(data.TMMX, opts.Extractor.TMM(m, i, j, a, features.NoDest))
+					x := opts.Extractor.TMM(m, i, j, a, features.NoDest)
+					charge(x)
+					data.TMMX = append(data.TMMX, x)
 					data.TMMY = append(data.TMMY, dist[aIdx])
 				}
 			}
 			for _, a := range m.LegalActionsFor(i) {
-				data.LMX = append(data.LMX, opts.Extractor.LM(m, i, a, features.NoDest))
+				x := opts.Extractor.LM(m, i, a, features.NoDest)
+				charge(x)
+				data.LMX = append(data.LMX, x)
 				data.LMY = append(data.LMY, rewardProxy(m, i, a, features.NoDest, w))
 
-				data.LMX = append(data.LMX, opts.Extractor.LM(m, i, a, sc.Dest))
+				x = opts.Extractor.LM(m, i, a, sc.Dest)
+				charge(x)
+				data.LMX = append(data.LMX, x)
 				data.LMY = append(data.LMY, rewardProxy(m, i, a, sc.Dest, w))
 			}
 		}
@@ -149,7 +166,7 @@ func CollectSamples(pl *core.Planner, opts CollectOptions) (*TrainingData, error
 	defer pl.SetTraining(false)
 	for ep := 0; ep < opts.Episodes; ep++ {
 		sp := opts.Tracer.Start("sample.episode", trace.Int("episode", int64(ep)))
-		if _, err := sim.Run(sc, pl, sim.RunOptions{OnStep: collect, TraceParent: sp}); err != nil {
+		if _, err := sim.Run(sc, pl, sim.RunOptions{OnStep: collect, TraceParent: sp, Budget: opts.Budget}); err != nil {
 			sp.End()
 			return nil, fmt.Errorf("approx: sampling episode %d: %w", ep, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/limits"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
 	"github.com/routeplanning/mamorl/internal/trace"
@@ -61,6 +62,10 @@ type Planner struct {
 	epReward    float64
 	epQDelta    float64
 	epMaxQDelta float64
+
+	// chargedEntries is how many sparse table entries have been billed to
+	// cfg.Budget so far; Train charges the per-episode growth delta.
+	chargedEntries int
 }
 
 // stallPatience mirrors the approximate planner's watchdog bound.
@@ -245,6 +250,7 @@ func (pl *Planner) Decide(m *sim.Mission, i int) sim.Action {
 	}
 
 	actions := m.LegalActionsFor(i)
+	_ = pl.cfg.Budget.Charge(limits.Nodes, int64(len(actions)))
 	if pl.training && pl.rng.Float64() < pl.cfg.Epsilon {
 		return pl.exploreAction(m, i, actions)
 	}
@@ -459,7 +465,11 @@ func (pl *Planner) Train() error {
 			trace.Int("episode", int64(ep)),
 			trace.Float("epsilon", pl.cfg.Epsilon))
 		pl.epReward, pl.epQDelta, pl.epMaxQDelta = 0, 0, 0
-		res, err := sim.Run(pl.sc, pl, sim.RunOptions{Collision: sim.RecordCollisions, TraceParent: sp})
+		res, err := sim.Run(pl.sc, pl, sim.RunOptions{
+			Collision: sim.RecordCollisions, TraceParent: sp, Budget: pl.cfg.Budget})
+		if chargeErr := pl.chargeTableGrowth(); err == nil {
+			err = chargeErr
+		}
 		if err != nil {
 			sp.End()
 			return fmt.Errorf("core: training episode %d: %w", ep, err)
@@ -483,6 +493,22 @@ func (pl *Planner) Train() error {
 		}
 	}
 	return nil
+}
+
+// chargeTableGrowth bills cfg.Budget for sparse P/Q entries created since
+// the last call (bytesPerEntry each). Called at episode boundaries — per
+// update would put map iteration in the learning hot loop.
+func (pl *Planner) chargeTableGrowth() error {
+	if pl.cfg.Budget == nil {
+		return nil
+	}
+	st := pl.TableStats()
+	grown := st.PEntries + st.QEntries - pl.chargedEntries
+	if grown <= 0 {
+		return nil
+	}
+	pl.chargedEntries += grown
+	return pl.cfg.Budget.Charge(limits.Bytes, int64(grown)*bytesPerEntry)
 }
 
 // TableStats reports the sparse storage actually used, next to the dense

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/routeplanning/mamorl/internal/limits"
+)
+
+// TestBudgetDeterminism pins the budget invariant end to end: charging is
+// pure accounting, so a generous shared budget under the parallel executor
+// must leave every PerRun record byte-identical to an unbudgeted serial
+// evaluation — while actually accruing usage.
+func TestBudgetDeterminism(t *testing.T) {
+	h := harness(t)
+	base := smallParams()
+	base.Runs = 3
+	base.Episodes = 2
+	for _, algo := range AllAlgorithms {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			free := base
+			free.Parallel = 1
+			serial, err := h.Evaluate(context.Background(), algo, free)
+			if err != nil {
+				t.Fatalf("unbudgeted Evaluate: %v", err)
+			}
+
+			budgeted := base
+			budgeted.Parallel = 8
+			budgeted.Budget = limits.New(limits.Limits{
+				Nodes: 1 << 40, Samples: 1 << 40, Bytes: 1 << 50,
+			})
+			capped, err := h.Evaluate(context.Background(), algo, budgeted)
+			if err != nil {
+				t.Fatalf("budgeted Evaluate: %v", err)
+			}
+			requireSameStats(t, algo, serial, capped)
+			// The budget observed the work: every algorithm at least runs
+			// missions, whose state allocation bills the bytes dimension.
+			if budgeted.Budget.Used(limits.Bytes) == 0 {
+				t.Errorf("%s: budget accrued no bytes", algo)
+			}
+			if algo == AlgoApprox || algo == AlgoMaMoRL {
+				if budgeted.Budget.Used(limits.Nodes) == 0 {
+					t.Errorf("%s: budget accrued no node expansions", algo)
+				}
+			}
+		})
+	}
+}
+
+// TestBudgetExhaustionAbortsEvaluation proves exhaustion is a real stop:
+// an evaluation sharing a tiny node budget fails with the typed
+// ErrOverBudget naming the resource.
+func TestBudgetExhaustionAbortsEvaluation(t *testing.T) {
+	h := harness(t)
+	p := smallParams()
+	p.Runs = 2
+	p.Budget = limits.New(limits.Limits{Nodes: 1})
+	_, err := h.Evaluate(context.Background(), AlgoApprox, p)
+	if err == nil {
+		t.Fatal("Evaluate succeeded with a one-node budget")
+	}
+	var ob *limits.ErrOverBudget
+	if !errors.As(err, &ob) {
+		t.Fatalf("error %v does not carry ErrOverBudget", err)
+	}
+	if ob.Resource != limits.Nodes || ob.Used <= ob.Limit {
+		t.Fatalf("violation %+v, want nodes over its limit", ob)
+	}
+}

@@ -239,7 +239,10 @@ func evaluateCustom(ctx context.Context, name string, p Params, lim limiter,
 			}
 			start := time.Now()
 			pl, mem := mk(run, sc)
-			res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{TraceParent: sp})
+			if ap, ok := pl.(*approx.Planner); ok {
+				ap.SetBudget(p.Budget)
+			}
+			res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{TraceParent: sp, Budget: p.Budget})
 			return runOutcome{res: res, cpu: time.Since(start), mem: mem, err: err}
 		})
 	})
@@ -305,11 +308,11 @@ func collectStats(algo string, p Params, outcomes []runOutcome) (RunStats, error
 // The mission aborts between epochs when ctx is cancelled.
 func (h *Harness) runOne(ctx context.Context, algo string, sc sim.Scenario, p Params, run int, sp *trace.Span) (sim.Result, time.Duration, float64, error) {
 	seed := runSeed(p, run)
-	opts := sim.RunOptions{TraceParent: sp}
+	opts := sim.RunOptions{TraceParent: sp, Budget: p.Budget}
 	start := time.Now()
 	switch algo {
 	case AlgoMaMoRL:
-		pl, err := core.NewPlanner(sc, core.Config{Episodes: p.Episodes, Seed: seed}, rewardfn.DefaultWeights())
+		pl, err := core.NewPlanner(sc, core.Config{Episodes: p.Episodes, Seed: seed, Budget: p.Budget}, rewardfn.DefaultWeights())
 		if err != nil {
 			return sim.Result{}, 0, 0, err
 		}
@@ -322,11 +325,13 @@ func (h *Harness) runOne(ctx context.Context, algo string, sc sim.Scenario, p Pa
 
 	case AlgoApprox:
 		pl := approx.NewPlanner(h.Linear, h.Pipe.Extractor, seed)
+		pl.SetBudget(p.Budget)
 		res, err := sim.RunContext(ctx, sc, pl, opts)
 		return res, time.Since(start), float64(pl.MemoryBytes(len(sc.Team))), err
 
 	case AlgoApproxPK:
 		inner := approx.NewPlanner(h.Linear, h.Pipe.Extractor, seed)
+		inner.SetBudget(p.Budget)
 		pl, err := partial.NewPlanner(sc, regionFor(sc), inner)
 		if err != nil {
 			return sim.Result{}, 0, 0, err
@@ -341,7 +346,7 @@ func (h *Harness) runOne(ctx context.Context, algo string, sc sim.Scenario, p Pa
 
 	case AlgoBaseline2:
 		pl := baselines.NewIndependent(rewardfn.Weights{}, seed)
-		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{Collision: sim.AbortOnCollision, TraceParent: sp})
+		res, err := sim.RunContext(ctx, sc, pl, sim.RunOptions{Collision: sim.AbortOnCollision, TraceParent: sp, Budget: p.Budget})
 		return res, time.Since(start), baselineStateBytes(len(sc.Team)), err
 
 	case AlgoRandomWalk:

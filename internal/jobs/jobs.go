@@ -14,16 +14,29 @@
 // Backpressure is explicit: Submit fails with ErrQueueFull when the
 // bounded queue is at capacity (the HTTP layer answers 429 with
 // Retry-After) and with ErrDraining once shutdown has begun. Idempotency
-// keys make retries safe: a duplicate Submit returns the original job.
+// keys make retries safe: a duplicate Submit returns the original job
+// while it is in flight or done; a key whose prior job failed or was
+// canceled resubmits, so clients can retry errors with the same key.
+//
+// Dequeue is weighted-fair across namespaces (the idempotency-key prefix
+// before the first '/', or Request.Namespace): a deficit round-robin walks
+// the per-namespace FIFOs, so one tenant flooding the queue delays its own
+// backlog, not everyone else's. Terminal job records are retained for a
+// bounded time and count (Options.Retention / Options.MaxTerminal) and then
+// evicted — a long-running server's memory is bounded by its retention
+// window, not its submission history.
+//
 // The queue exports jobs_queued/jobs_inflight gauges, per-state counters,
-// and queue-wait/execution histograms into an obs registry, and every job
-// execution carries a trace span under the submitting request's trace ID.
+// fairness and eviction counters, and queue-wait/execution histograms into
+// an obs registry, and every job execution carries a trace span under the
+// submitting request's trace ID.
 package jobs
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -66,6 +79,12 @@ var (
 const (
 	DefaultWorkers    = 4
 	DefaultQueueDepth = 64
+	// DefaultRetention is how long terminal job records stay queryable.
+	DefaultRetention = 15 * time.Minute
+	// DefaultMaxTerminal caps retained terminal records regardless of age.
+	DefaultMaxTerminal = 10000
+	// DefaultWatchBuffer is each watcher channel's frame buffer.
+	DefaultWatchBuffer = 4
 )
 
 // Options configures a Queue.
@@ -78,6 +97,24 @@ type Options struct {
 	// DefaultTimeout bounds each job's execution when the submission does
 	// not carry its own deadline. 0 means no default deadline.
 	DefaultTimeout time.Duration
+	// Retention is how long a terminal job (and its idempotency-key entry)
+	// stays queryable after finishing. 0 selects DefaultRetention; < 0
+	// disables time-based eviction entirely.
+	Retention time.Duration
+	// MaxTerminal caps retained terminal records, evicting oldest-finished
+	// first. 0 selects DefaultMaxTerminal; < 0 removes the cap.
+	MaxTerminal int
+	// WatchBuffer is the per-watcher channel buffer; < 1 selects
+	// DefaultWatchBuffer. A watcher that falls behind loses intermediate
+	// frames (never blocking a worker); the channel close marks the
+	// terminal transition regardless.
+	WatchBuffer int
+	// Weights assigns dequeue weights to namespaces: a namespace with
+	// weight w dequeues up to w jobs per round-robin turn. Missing or < 1
+	// means weight 1. The empty key weights the default namespace.
+	Weights map[string]int
+	// Now replaces the clock (tests drive a fake one).
+	Now func() time.Time
 	// Metrics receives the queue's gauges, counters and histograms.
 	// nil gets a private registry.
 	Metrics *obs.Registry
@@ -93,10 +130,46 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = DefaultQueueDepth
 	}
+	switch {
+	case o.Retention == 0:
+		o.Retention = DefaultRetention
+	case o.Retention < 0:
+		o.Retention = 0 // normalized: 0 means "no TTL" internally
+	}
+	switch {
+	case o.MaxTerminal == 0:
+		o.MaxTerminal = DefaultMaxTerminal
+	case o.MaxTerminal < 0:
+		o.MaxTerminal = 0 // normalized: 0 means "no cap" internally
+	}
+	if o.WatchBuffer < 1 {
+		o.WatchBuffer = DefaultWatchBuffer
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
 	if o.Metrics == nil {
 		o.Metrics = obs.New()
 	}
 	return o
+}
+
+// Namespace returns the fairness lane of an idempotency key: the segment
+// before the first '/' when the key looks like "tenant/...", else the
+// shared default lane "".
+func Namespace(key string) string {
+	if i := strings.IndexByte(key, '/'); i > 0 {
+		return key[:i]
+	}
+	return ""
+}
+
+// nsLabel renders a namespace as a metric label value.
+func nsLabel(ns string) string {
+	if ns == "" {
+		return "default"
+	}
+	return ns
 }
 
 // Request is one job submission.
@@ -104,8 +177,12 @@ type Request struct {
 	// Kind labels the job type ("plan", "train") for metrics and views.
 	Kind string
 	// IdempotencyKey, when non-empty, deduplicates submissions: a second
-	// Submit with the same key returns the original job.
+	// Submit with the same key returns the original job unless that job
+	// failed or was canceled, in which case the retry resubmits.
 	IdempotencyKey string
+	// Namespace overrides the fairness lane; empty derives it from
+	// IdempotencyKey via Namespace.
+	Namespace string
 	// Timeout bounds this job's execution; 0 falls back to the queue's
 	// DefaultTimeout.
 	Timeout time.Duration
@@ -138,6 +215,7 @@ type job struct {
 	id       string
 	kind     string
 	key      string
+	ns       string
 	state    State
 	created  time.Time
 	started  time.Time
@@ -147,6 +225,10 @@ type job struct {
 	fn       Func
 	result   any
 	errMsg   string
+	// err retains the typed failure (errMsg is its rendered form) so the
+	// HTTP layer can errors.As it — e.g. to answer 429 for a job that
+	// failed on budget exhaustion.
+	err error
 	// cancelRequested distinguishes an explicit DELETE from a deadline
 	// expiry; cancel aborts a running job's context.
 	cancelRequested bool
@@ -196,7 +278,17 @@ type Queue struct {
 	active   int     // jobs in a non-terminal state
 	execEWMA float64 // smoothed execution seconds, feeds RetryAfter
 
-	work       chan *job
+	// Weighted-fair dequeue state: one FIFO per namespace, walked
+	// round-robin with per-namespace credits refilled from Options.Weights.
+	nsQueues map[string][]*job
+	nsOrder  []string
+	nsCredit map[string]int
+	nsIdx    int
+	queued   int // jobs occupying queue capacity (settled at dequeue)
+
+	// terminal holds finished jobs in finish order — the eviction FIFO.
+	terminal []*job
+
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 	wg         sync.WaitGroup
@@ -210,7 +302,8 @@ func New(opts Options) *Queue {
 		opts:       opts,
 		jobs:       make(map[string]*job),
 		byKey:      make(map[string]string),
-		work:       make(chan *job, opts.QueueDepth),
+		nsQueues:   make(map[string][]*job),
+		nsCredit:   make(map[string]int),
 		rootCtx:    ctx,
 		rootCancel: cancel,
 	}
@@ -225,13 +318,17 @@ func New(opts Options) *Queue {
 
 func registerHelp(m *obs.Registry) {
 	for name, help := range map[string]string{
-		"jobs_queued":             "Jobs accepted but not yet running.",
-		"jobs_inflight":           "Jobs currently executing.",
-		"jobs_state_total":        "Jobs that reached a terminal state, by state.",
-		"jobs_submitted_total":    "Job submissions accepted, by kind.",
-		"jobs_rejected_total":     "Job submissions rejected, by reason (full, draining).",
-		"jobs_queue_wait_seconds": "Time from submission to execution start.",
-		"jobs_exec_seconds":       "Job execution latency.",
+		"jobs_queued":              "Jobs accepted but not yet running.",
+		"jobs_inflight":            "Jobs currently executing.",
+		"jobs_state_total":         "Jobs that reached a terminal state, by state.",
+		"jobs_submitted_total":     "Job submissions accepted, by kind.",
+		"jobs_rejected_total":      "Job submissions rejected, by reason (full, draining).",
+		"jobs_resubmitted_total":   "Idempotency-key retries that resubmitted after a failed or canceled prior job.",
+		"jobs_queue_wait_seconds":  "Time from submission to execution start.",
+		"jobs_exec_seconds":        "Job execution latency.",
+		"jobs_fair_namespaces":     "Namespaces currently holding queued jobs.",
+		"jobs_fair_dequeues_total": "Jobs dequeued, by namespace.",
+		"jobs_evicted_total":       "Terminal job records evicted by retention or the record cap.",
 	} {
 		m.SetHelp(name, help)
 	}
@@ -243,9 +340,19 @@ func (q *Queue) Workers() int { return q.opts.Workers }
 // Metrics returns the queue's metrics registry.
 func (q *Queue) Metrics() *obs.Registry { return q.opts.Metrics }
 
+// Len returns the number of job records currently retained (queued,
+// running, and not-yet-evicted terminal jobs).
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
 // Submit enqueues a job. It fails fast with ErrQueueFull when the bounded
 // queue is at capacity and ErrDraining during shutdown. A duplicate
-// idempotency key returns the original job's view with no error.
+// idempotency key returns the original job's view with no error — unless
+// that job failed or was canceled, in which case the retry takes over the
+// key and resubmits.
 func (q *Queue) Submit(req Request) (View, error) {
 	if req.Fn == nil {
 		return View{}, errors.New("jobs: submit with nil Fn")
@@ -254,6 +361,7 @@ func (q *Queue) Submit(req Request) (View, error) {
 		req.Kind = "job"
 	}
 	q.mu.Lock()
+	q.evictLocked()
 	if q.draining {
 		q.mu.Unlock()
 		q.opts.Metrics.Counter("jobs_rejected_total", "reason", "draining").Inc()
@@ -261,33 +369,43 @@ func (q *Queue) Submit(req Request) (View, error) {
 	}
 	if req.IdempotencyKey != "" {
 		if id, ok := q.byKey[req.IdempotencyKey]; ok {
-			v := q.jobs[id].view()
-			q.mu.Unlock()
-			return v, nil
+			prior := q.jobs[id]
+			if prior != nil && prior.state != StateFailed && prior.state != StateCanceled {
+				v := prior.view()
+				q.mu.Unlock()
+				return v, nil
+			}
+			// The prior attempt settled unsuccessfully (or its record is
+			// gone): this retry is new work, and it takes over the key.
+			q.opts.Metrics.Counter("jobs_resubmitted_total").Inc()
 		}
+	}
+	if q.queued >= q.opts.QueueDepth {
+		q.mu.Unlock()
+		q.opts.Metrics.Counter("jobs_rejected_total", "reason", "full").Inc()
+		return View{}, ErrQueueFull
 	}
 	timeout := req.Timeout
 	if timeout <= 0 {
 		timeout = q.opts.DefaultTimeout
+	}
+	ns := req.Namespace
+	if ns == "" {
+		ns = Namespace(req.IdempotencyKey)
 	}
 	q.seq++
 	j := &job{
 		id:      fmt.Sprintf("j-%08d", q.seq),
 		kind:    req.Kind,
 		key:     req.IdempotencyKey,
+		ns:      ns,
 		state:   StateQueued,
-		created: time.Now(),
+		created: q.opts.Now(),
 		timeout: timeout,
 		traceID: req.TraceID,
 		fn:      req.Fn,
 	}
-	select {
-	case q.work <- j:
-	default:
-		q.mu.Unlock()
-		q.opts.Metrics.Counter("jobs_rejected_total", "reason", "full").Inc()
-		return View{}, ErrQueueFull
-	}
+	q.enqueueLocked(j)
 	q.jobs[j.id] = j
 	if j.key != "" {
 		q.byKey[j.key] = j.id
@@ -296,19 +414,128 @@ func (q *Queue) Submit(req Request) (View, error) {
 	q.opts.Metrics.Gauge("jobs_queued").Inc()
 	q.opts.Metrics.Counter("jobs_submitted_total", "kind", j.kind).Inc()
 	v := j.view()
+	q.cond.Broadcast()
 	q.mu.Unlock()
 	return v, nil
 }
 
-// Get returns a job's current view.
+// enqueueLocked appends j to its namespace FIFO, registering the namespace
+// in the round-robin order if it is new. Callers hold q.mu.
+func (q *Queue) enqueueLocked(j *job) {
+	if _, ok := q.nsQueues[j.ns]; !ok {
+		q.nsOrder = append(q.nsOrder, j.ns)
+		q.opts.Metrics.Gauge("jobs_fair_namespaces").Set(float64(len(q.nsOrder)))
+	}
+	q.nsQueues[j.ns] = append(q.nsQueues[j.ns], j)
+	q.queued++
+}
+
+// weightOf returns a namespace's dequeue weight (>= 1).
+func (q *Queue) weightOf(ns string) int {
+	if w := q.opts.Weights[ns]; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// dequeueLocked pops the next job under deficit round-robin: each
+// namespace dequeues up to its weight, then the turn passes to the next.
+// Jobs settled while queued (canceled) are dropped lazily here, releasing
+// their queue-capacity slot. Returns nil when nothing is queued. Callers
+// hold q.mu.
+func (q *Queue) dequeueLocked() *job {
+	for q.queued > 0 {
+		if q.nsIdx >= len(q.nsOrder) {
+			q.nsIdx = 0
+		}
+		ns := q.nsOrder[q.nsIdx]
+		fifo := q.nsQueues[ns]
+		for len(fifo) > 0 && fifo[0].state != StateQueued {
+			fifo = fifo[1:]
+			q.queued--
+		}
+		q.nsQueues[ns] = fifo
+		if len(fifo) == 0 {
+			// Namespace drained: retire it from the rotation (it re-registers
+			// on its next submission).
+			delete(q.nsQueues, ns)
+			delete(q.nsCredit, ns)
+			q.nsOrder = append(q.nsOrder[:q.nsIdx], q.nsOrder[q.nsIdx+1:]...)
+			q.opts.Metrics.Gauge("jobs_fair_namespaces").Set(float64(len(q.nsOrder)))
+			continue
+		}
+		if q.nsCredit[ns] <= 0 {
+			q.nsCredit[ns] = q.weightOf(ns)
+		}
+		j := fifo[0]
+		q.nsQueues[ns] = fifo[1:]
+		q.queued--
+		if q.nsCredit[ns]--; q.nsCredit[ns] <= 0 {
+			q.nsIdx++ // credit spent: the turn passes on
+		}
+		q.opts.Metrics.Counter("jobs_fair_dequeues_total", "namespace", nsLabel(ns)).Inc()
+		return j
+	}
+	return nil
+}
+
+// settleLocked records a terminal transition for eviction accounting.
+// Callers hold q.mu and have already set the job's terminal state.
+func (q *Queue) settleLocked(j *job) {
+	q.terminal = append(q.terminal, j)
+	q.evictLocked()
+}
+
+// evictLocked removes terminal records that aged past the retention window
+// or overflow the record cap, oldest-finished first, releasing the job map
+// entry and (when still owned) the idempotency-key entry. Callers hold
+// q.mu.
+func (q *Queue) evictLocked() {
+	now := q.opts.Now()
+	evicted := 0
+	for len(q.terminal) > 0 {
+		j := q.terminal[0]
+		overCap := q.opts.MaxTerminal > 0 && len(q.terminal) > q.opts.MaxTerminal
+		expired := q.opts.Retention > 0 && now.Sub(j.finished) >= q.opts.Retention
+		if !overCap && !expired {
+			break
+		}
+		q.terminal = q.terminal[1:]
+		delete(q.jobs, j.id)
+		if j.key != "" && q.byKey[j.key] == j.id {
+			delete(q.byKey, j.key)
+		}
+		evicted++
+	}
+	if evicted > 0 {
+		q.opts.Metrics.Counter("jobs_evicted_total").Add(uint64(evicted))
+	}
+}
+
+// Get returns a job's current view. Evicted (or never-submitted) IDs
+// report false.
 func (q *Queue) Get(id string) (View, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.evictLocked()
 	j, ok := q.jobs[id]
 	if !ok {
 		return View{}, false
 	}
 	return j.view(), true
+}
+
+// Err returns the typed error a failed job settled with (nil for other
+// states and for unknown or evicted jobs). The HTTP layer uses it to map
+// failure causes to status codes.
+func (q *Queue) Err(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil
+	}
+	return j.err
 }
 
 // Cancel requests cancellation of a job: a queued job is canceled
@@ -326,12 +553,13 @@ func (q *Queue) Cancel(id string) (View, bool) {
 	case StateQueued:
 		j.state = StateCanceled
 		j.cancelRequested = true
-		j.finished = time.Now()
+		j.finished = q.opts.Now()
 		j.errMsg = "canceled before execution"
 		q.active--
 		q.opts.Metrics.Gauge("jobs_queued").Dec()
 		q.opts.Metrics.Counter("jobs_state_total", "state", string(StateCanceled)).Inc()
 		q.notifyLocked(j)
+		q.settleLocked(j)
 		q.cond.Broadcast()
 	case StateRunning:
 		j.cancelRequested = true
@@ -344,8 +572,10 @@ func (q *Queue) Cancel(id string) (View, bool) {
 
 // Watch subscribes to a job's state transitions: the current view is
 // returned immediately, and every subsequent transition (including the
-// terminal one, after which the channel closes) arrives on ch. cancel
-// unsubscribes; it is safe to call after the channel closed.
+// terminal one, after which the channel closes) arrives on ch. A slow
+// receiver can lose intermediate frames — the channel close itself is the
+// reliable terminal signal, and watchers re-read the final view via Get.
+// cancel unsubscribes; it is safe to call after the channel closed.
 func (q *Queue) Watch(id string) (cur View, ch <-chan View, cancel func(), ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -354,8 +584,8 @@ func (q *Queue) Watch(id string) (cur View, ch <-chan View, cancel func(), ok bo
 		return View{}, nil, nil, false
 	}
 	// A job emits at most queued→running→terminal after subscription, so a
-	// small buffer guarantees delivery without blocking the worker.
-	c := make(chan View, 4)
+	// small buffer normally guarantees delivery without blocking the worker.
+	c := make(chan View, q.opts.WatchBuffer)
 	if j.state.Terminal() {
 		close(c)
 		return j.view(), c, func() {}, true
@@ -400,11 +630,12 @@ func (q *Queue) notifyLocked(j *job) {
 func (q *Queue) RetryAfter() time.Duration {
 	q.mu.Lock()
 	avg := q.execEWMA
+	backlog := q.queued
 	q.mu.Unlock()
 	if avg <= 0 {
 		avg = 1
 	}
-	secs := avg * float64(len(q.work)+1) / float64(q.opts.Workers)
+	secs := avg * float64(backlog+1) / float64(q.opts.Workers)
 	if secs < 1 {
 		secs = 1
 	}
@@ -449,8 +680,8 @@ func (q *Queue) Close() {
 	q.wg.Wait()
 }
 
-// beginDrain flips the queue into draining mode exactly once and closes
-// the work channel so workers exit after emptying it.
+// beginDrain flips the queue into draining mode exactly once and wakes the
+// workers so they exit after emptying the backlog.
 func (q *Queue) beginDrain() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -458,12 +689,24 @@ func (q *Queue) beginDrain() {
 		return
 	}
 	q.draining = true
-	close(q.work)
+	q.cond.Broadcast()
 }
 
 func (q *Queue) worker() {
 	defer q.wg.Done()
-	for j := range q.work {
+	for {
+		q.mu.Lock()
+		var j *job
+		for {
+			if j = q.dequeueLocked(); j != nil || q.draining {
+				break
+			}
+			q.cond.Wait()
+		}
+		q.mu.Unlock()
+		if j == nil {
+			return
+		}
 		q.run(j)
 	}
 }
@@ -476,7 +719,7 @@ func (q *Queue) run(j *job) {
 		return
 	}
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = q.opts.Now()
 	ctx := q.rootCtx
 	var cancel context.CancelFunc
 	if j.timeout > 0 {
@@ -511,7 +754,7 @@ func (q *Queue) run(j *job) {
 
 	q.mu.Lock()
 	j.cancel = nil
-	j.finished = time.Now()
+	j.finished = q.opts.Now()
 	exec := j.finished.Sub(j.started).Seconds()
 	switch {
 	case err == nil:
@@ -525,6 +768,7 @@ func (q *Queue) run(j *job) {
 		j.errMsg = "canceled by queue shutdown"
 	default:
 		j.state = StateFailed
+		j.err = err
 		j.errMsg = err.Error()
 	}
 	m.Gauge("jobs_inflight").Dec()
@@ -539,6 +783,7 @@ func (q *Queue) run(j *job) {
 	q.active--
 	state := j.state
 	q.notifyLocked(j)
+	q.settleLocked(j)
 	q.cond.Broadcast()
 	q.mu.Unlock()
 

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/routeplanning/mamorl/internal/limits"
 )
 
 // Options configures Fit.
@@ -25,6 +27,10 @@ type Options struct {
 	Ridge float64
 	// FitIntercept adds a constant bias term to the model.
 	FitIntercept bool
+	// Budget, when non-nil, is charged the rows consumed (Samples) and the
+	// normal-equation workspace (Bytes); Fit fails with a wrapped
+	// *limits.ErrOverBudget when it is exhausted. nil fits unlimited.
+	Budget *limits.Budget
 }
 
 // DefaultRidge is the regularization used when Options.Ridge is zero.
@@ -74,6 +80,12 @@ func Fit(X [][]float64, y []float64, opts Options) (*Model, error) {
 	cols := d
 	if opts.FitIntercept {
 		cols++
+	}
+	if err := opts.Budget.Charge(limits.Samples, int64(len(X))); err != nil {
+		return nil, fmt.Errorf("linreg: fit over budget: %w", err)
+	}
+	if err := opts.Budget.Charge(limits.Bytes, int64(cols*cols+2*cols)*8); err != nil {
+		return nil, fmt.Errorf("linreg: fit over budget: %w", err)
 	}
 	// Normal equations: gram = XᵀX + λI, rhs = Xᵀy, with an appended
 	// all-ones column when fitting an intercept.

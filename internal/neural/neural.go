@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"github.com/routeplanning/mamorl/internal/limits"
 )
 
 // Activation selects a layer's nonlinearity.
@@ -187,6 +189,11 @@ type TrainOptions struct {
 	// MaxEpochsNoImprove stops early when training MSE has not improved
 	// for this many epochs; 0 disables early stopping.
 	MaxEpochsNoImprove int
+	// Budget, when non-nil, is charged the rows consumed per SGD batch
+	// (Samples) and the gradient workspace (Bytes); Train stops with a
+	// wrapped *limits.ErrOverBudget once it is exhausted. nil trains
+	// unlimited.
+	Budget *limits.Budget
 }
 
 // Defaults from Table 5.
@@ -229,6 +236,11 @@ func (n *Network) Train(X [][]float64, y [][]float64, opts TrainOptions) (float6
 	for i := range order {
 		order[i] = i
 	}
+	// The per-batch gradient accumulators are the training loop's dominant
+	// allocation; charge them once up front.
+	if err := opts.Budget.Charge(limits.Bytes, int64(n.NumParams())*8); err != nil {
+		return 0, fmt.Errorf("neural: training over budget: %w", err)
+	}
 	bestMSE := math.Inf(1)
 	stall := 0
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
@@ -237,6 +249,9 @@ func (n *Network) Train(X [][]float64, y [][]float64, opts TrainOptions) (float6
 			end := start + opts.BatchSize
 			if end > len(order) {
 				end = len(order)
+			}
+			if err := opts.Budget.Charge(limits.Samples, int64(end-start)); err != nil {
+				return n.MSE(X, y), fmt.Errorf("neural: training over budget at epoch %d: %w", epoch, err)
 			}
 			n.sgdBatch(X, y, order[start:end], opts.LearningRate)
 		}

@@ -2,9 +2,10 @@ package obs
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // StreamHandler serves a Sampler as Server-Sent Events: the retained
@@ -14,21 +15,29 @@ import (
 //	id: <seq>
 //	data: {"seq":..,"t":..,"series":{...}}
 //
-// frame per sample. The handler holds the connection until the client
-// disconnects. A proxy-buffered client sees frames late, so the usual SSE
-// anti-buffering headers are set.
+// frame per sample, with keep-alive comments at DefaultKeepAliveInterval
+// while idle. The handler holds the connection until the client
+// disconnects.
 func StreamHandler(s *Sampler) http.Handler {
+	return StreamHandlerOpts(s, DefaultKeepAliveInterval)
+}
+
+// StreamHandlerOpts is StreamHandler with an explicit keep-alive interval
+// (0 selects the default, negative disables keep-alives). The sampler
+// normally emits a frame every SamplerOptions.Interval, but a paused
+// sampler — or one with a long interval — would otherwise leave the
+// connection silent long enough for intermediaries to drop it.
+func StreamHandlerOpts(s *Sampler, keepAlive time.Duration) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		fl, ok := w.(http.Flusher)
+		st, ok := NewSSEStream(w)
 		if !ok {
 			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "text/event-stream")
-		w.Header().Set("Cache-Control", "no-cache")
-		w.Header().Set("Connection", "keep-alive")
-		w.Header().Set("X-Accel-Buffering", "no")
-		w.WriteHeader(http.StatusOK)
+		if keepAlive >= 0 {
+			stop := st.KeepAlive(r.Context(), keepAlive)
+			defer stop()
+		}
 
 		backlog, ch, cancel := s.Subscribe(16)
 		defer cancel()
@@ -37,11 +46,7 @@ func StreamHandler(s *Sampler) http.Handler {
 			if err != nil {
 				return false
 			}
-			if _, err := fmt.Fprintf(w, "event: sample\nid: %d\ndata: %s\n\n", sm.Seq, b); err != nil {
-				return false
-			}
-			fl.Flush()
-			return true
+			return st.WriteEvent("sample", strconv.FormatUint(sm.Seq, 10), b)
 		}
 		for _, sm := range backlog {
 			if !write(sm) {

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultKeepAliveInterval is the idle keep-alive cadence of the SSE
+// streams: comfortably inside common proxy/LB idle timeouts (usually 30
+// or 60 seconds) while adding negligible traffic.
+const DefaultKeepAliveInterval = 15 * time.Second
+
+// SSEStream is a mutex-serialized Server-Sent-Events writer shared by a
+// handler's data-frame loop and its keep-alive ticker. Both SSE endpoints
+// (/debug/metrics/stream and /api/jobs/{id}/events) write through it, so
+// the anti-buffering headers, the flush-per-frame discipline, and the
+// keep-alive contract stay identical across the service.
+//
+// Keep-alive frames are SSE comment lines (": keep-alive\n\n"): every
+// compliant EventSource client ignores them, but they put bytes on an
+// otherwise idle connection so proxies and load balancers do not kill it
+// silently (a job can sit queued for minutes emitting no transitions).
+type SSEStream struct {
+	mu     sync.Mutex
+	w      http.ResponseWriter
+	fl     http.Flusher
+	now    func() time.Time // test seam; time.Now in production
+	last   time.Time        // when bytes last went out (guarded by mu)
+	failed bool             // a write error latches: the client is gone
+}
+
+// NewSSEStream prepares w for event streaming: anti-buffering headers and
+// a 200. It reports false (writing nothing) when w cannot flush — the
+// caller answers with a regular error response.
+func NewSSEStream(w http.ResponseWriter) (*SSEStream, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return nil, false
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	s := &SSEStream{w: w, fl: fl, now: time.Now}
+	s.last = s.now()
+	return s, true
+}
+
+// WriteEvent writes one event frame (event/optional id/data) and flushes.
+// It reports false once any write has failed; the stream is then dead.
+func (s *SSEStream) WriteEvent(event, id string, data []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return false
+	}
+	var err error
+	if id != "" {
+		_, err = fmt.Fprintf(s.w, "event: %s\nid: %s\ndata: %s\n\n", event, id, data)
+	} else {
+		_, err = fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, data)
+	}
+	return s.finishWriteLocked(err)
+}
+
+// WriteComment writes one comment frame (": text") and flushes. Comment
+// frames are invisible to EventSource clients; the keep-alive ticker uses
+// them.
+func (s *SSEStream) WriteComment(text string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return false
+	}
+	_, err := fmt.Fprintf(s.w, ": %s\n\n", text)
+	return s.finishWriteLocked(err)
+}
+
+// finishWriteLocked settles one write: latch failure or flush and stamp
+// the idle clock. Callers hold s.mu.
+func (s *SSEStream) finishWriteLocked(err error) bool {
+	if err != nil {
+		s.failed = true
+		return false
+	}
+	s.fl.Flush()
+	s.last = s.now()
+	return true
+}
+
+// keepAliveTick emits one keep-alive comment if the stream has been idle
+// for at least interval. Split from KeepAlive so the fake-clock test can
+// drive ticks directly.
+func (s *SSEStream) keepAliveTick(interval time.Duration) {
+	s.mu.Lock()
+	idle := s.now().Sub(s.last) >= interval
+	s.mu.Unlock()
+	if idle {
+		s.WriteComment("keep-alive")
+	}
+}
+
+// KeepAlive starts a goroutine emitting keep-alive comments while the
+// stream stays idle: it checks every interval and writes when no frame
+// went out during the last one (so an idle connection sees bytes at most
+// ~2×interval apart, and a busy one sees no comments at all). interval
+// <= 0 selects DefaultKeepAliveInterval. The goroutine exits when ctx is
+// done or stop is called; handlers defer stop().
+func (s *SSEStream) KeepAlive(ctx context.Context, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = DefaultKeepAliveInterval
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	stop = func() { once.Do(func() { close(done) }) }
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-done:
+				return
+			case <-t.C:
+				s.keepAliveTick(interval)
+			}
+		}
+	}()
+	return stop
+}

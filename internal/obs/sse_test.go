@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestNewSSEStreamRequiresFlusher(t *testing.T) {
+	rec := httptest.NewRecorder()
+	if _, ok := NewSSEStream(noFlushWriter{rec}); ok {
+		t.Fatal("NewSSEStream accepted a non-flushing writer")
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("rejected stream wrote %q", rec.Body.String())
+	}
+}
+
+func TestSSEStreamHeadersAndFrames(t *testing.T) {
+	rec := httptest.NewRecorder()
+	st, ok := NewSSEStream(rec)
+	if !ok {
+		t.Fatal("NewSSEStream rejected a recorder")
+	}
+	for header, want := range map[string]string{
+		"Content-Type":      "text/event-stream",
+		"Cache-Control":     "no-cache",
+		"Connection":        "keep-alive",
+		"X-Accel-Buffering": "no",
+	} {
+		if got := rec.Header().Get(header); got != want {
+			t.Errorf("%s = %q, want %q", header, got, want)
+		}
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200", rec.Code)
+	}
+	if !st.WriteEvent("state", "7", []byte(`{"x":1}`)) {
+		t.Fatal("WriteEvent failed")
+	}
+	if !st.WriteEvent("state", "", []byte(`{"y":2}`)) {
+		t.Fatal("WriteEvent without id failed")
+	}
+	if !st.WriteComment("keep-alive") {
+		t.Fatal("WriteComment failed")
+	}
+	want := "event: state\nid: 7\ndata: {\"x\":1}\n\n" +
+		"event: state\ndata: {\"y\":2}\n\n" +
+		": keep-alive\n\n"
+	if got := rec.Body.String(); got != want {
+		t.Fatalf("stream body:\n%q\nwant:\n%q", got, want)
+	}
+	if rec.Flushed != true {
+		t.Fatal("frames were not flushed")
+	}
+}
+
+// TestKeepAliveTickFakeClock drives the keep-alive decision with a manual
+// clock: no comment while frames flow inside the interval, one comment
+// once the stream sits idle past it, and the comment itself resets the
+// idle window.
+func TestKeepAliveTickFakeClock(t *testing.T) {
+	rec := httptest.NewRecorder()
+	st, ok := NewSSEStream(rec)
+	if !ok {
+		t.Fatal("NewSSEStream rejected a recorder")
+	}
+	now := time.Unix(1700000000, 0)
+	st.now = func() time.Time { return now }
+	st.WriteEvent("state", "", []byte("{}")) // stamps last = now
+	base := rec.Body.Len()
+
+	const interval = 15 * time.Second
+	now = now.Add(interval - time.Second)
+	st.keepAliveTick(interval)
+	if rec.Body.Len() != base {
+		t.Fatalf("keep-alive fired while active: %q", rec.Body.String()[base:])
+	}
+
+	now = now.Add(2 * time.Second) // idle ≥ interval
+	st.keepAliveTick(interval)
+	got := rec.Body.String()[base:]
+	if got != ": keep-alive\n\n" {
+		t.Fatalf("idle tick wrote %q, want one keep-alive comment", got)
+	}
+
+	// The comment stamped last; an immediate second tick stays quiet.
+	st.keepAliveTick(interval)
+	if rest := rec.Body.String()[base:]; rest != got {
+		t.Fatalf("back-to-back tick wrote again: %q", rest)
+	}
+
+	now = now.Add(interval)
+	st.keepAliveTick(interval)
+	if rest := rec.Body.String()[base:]; rest != got+": keep-alive\n\n" {
+		t.Fatalf("second idle window wrote %q", rest)
+	}
+}
+
+func TestSSEStreamLatchesWriteFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	st, ok := NewSSEStream(rec)
+	if !ok {
+		t.Fatal("NewSSEStream rejected a recorder")
+	}
+	st.w = failingWriter{rec}
+	if st.WriteEvent("state", "", []byte("{}")) {
+		t.Fatal("WriteEvent reported success on a failing writer")
+	}
+	st.w = rec // even with a healthy writer again, the stream stays dead
+	if st.WriteEvent("state", "", []byte("{}")) || st.WriteComment("x") {
+		t.Fatal("failed stream accepted more writes")
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("dead stream wrote %q", rec.Body.String())
+	}
+}
+
+// failingWriter fails every write, simulating a disconnected client.
+type failingWriter struct{ http.ResponseWriter }
+
+func (failingWriter) Write([]byte) (int, error) { return 0, http.ErrHandlerTimeout }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/limits"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/trace"
 	"github.com/routeplanning/mamorl/internal/weather"
@@ -100,6 +101,14 @@ func NewMission(sc Scenario, opts RunOptions) (*Mission, error) {
 	}
 	n := len(sc.Team)
 	v := sc.Grid.NumNodes()
+	// Mission state is the dominant per-episode allocation: per-asset
+	// Knowledge (a sensed bitmap plus last-known vectors) and the shared
+	// team-sensed bitmap. Charge the estimate up front so a budget too
+	// small for the scenario fails before any planning work happens.
+	stateBytes := int64(v)*int64(n+1) + 16*int64(n)*int64(n)
+	if err := opts.Budget.Charge(limits.Bytes, stateBytes); err != nil {
+		return nil, fmt.Errorf("sim: mission state over budget: %w", err)
+	}
 	m := &Mission{
 		sc:            sc,
 		opts:          opts,
@@ -555,6 +564,11 @@ func RunContext(ctx context.Context, sc Scenario, p Planner, opts RunOptions) (R
 	acts := make([]Action, len(sc.Team))
 	for !m.Done() {
 		if err := ctx.Err(); err != nil {
+			return m.Result(), fmt.Errorf("sim: mission aborted at epoch %d: %w", m.Step(), err)
+		}
+		// Budget exhaustion is cooperative: planners charge (and keep
+		// planning) mid-epoch, the loop aborts at the next epoch boundary.
+		if err := opts.Budget.Err(); err != nil {
 			return m.Result(), fmt.Errorf("sim: mission aborted at epoch %d: %w", m.Step(), err)
 		}
 		prev := m.CurAll()

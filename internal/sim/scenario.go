@@ -5,6 +5,7 @@ import (
 
 	"github.com/routeplanning/mamorl/internal/graphalg"
 	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/limits"
 	"github.com/routeplanning/mamorl/internal/trace"
 	"github.com/routeplanning/mamorl/internal/vessel"
 	"github.com/routeplanning/mamorl/internal/weather"
@@ -143,6 +144,12 @@ type RunOptions struct {
 	// span (an experiment run, a TMPLAR request) instead of starting a new
 	// trace. Takes precedence over Tracer.
 	TraceParent *trace.Span
+	// Budget, when non-nil, bounds what the run may consume: NewMission
+	// charges the mission-state bytes, and the step loop polls Budget.Err
+	// every epoch, aborting with a wrapped *limits.ErrOverBudget once a
+	// planner (sharing this budget) has exhausted it. nil runs unlimited
+	// at zero cost.
+	Budget *limits.Budget
 }
 
 // Result summarizes a finished mission.

@@ -9,6 +9,8 @@ import (
 	"strconv"
 
 	"github.com/routeplanning/mamorl/internal/jobs"
+	"github.com/routeplanning/mamorl/internal/limits"
+	"github.com/routeplanning/mamorl/internal/obs"
 	"github.com/routeplanning/mamorl/internal/trace"
 )
 
@@ -75,7 +77,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Timeout:        s.deadlineFor(plan),
 		TraceID:        traceID,
 		Fn: func(ctx context.Context) (any, error) {
-			resp, _, err := s.plan(ctx, plan)
+			// Each execution gets a fresh budget — a resubmitted job must
+			// not inherit the exhausted accounting of a failed attempt.
+			resp, _, err := s.plan(ctx, plan, s.newBudget())
 			if err != nil {
 				return nil, err
 			}
@@ -112,6 +116,16 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown job"})
 		return
 	}
+	// A job that failed over budget answers 429 like the synchronous
+	// plane, still carrying the job view (its error string names the
+	// resource) so clients see one consistent admission-control signal.
+	if view.State == jobs.StateFailed {
+		var ob *limits.ErrOverBudget
+		if errors.As(s.jobs.Err(view.ID), &ob) {
+			writeJSON(w, http.StatusTooManyRequests, view)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, view)
 }
 
@@ -133,40 +147,44 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 //	data: {job view JSON}
 //
 // frame per transition starting with the current state, and closes after
-// the terminal one. It reuses the obs SSE conventions (anti-buffering
-// headers, flush per frame) so the same clients work on both streams.
+// the terminal one. The shared obs SSE writer supplies the anti-buffering
+// headers, the flush-per-frame discipline, and keep-alive comments while
+// the job sits queued or running without transitions.
+//
+// The watch channel is best-effort: the queue drops frames rather than
+// block a worker on a slow reader, and closes the channel at the terminal
+// transition. A dropped-then-closed terminal frame must not be lost — on
+// close this handler re-reads the job's final view and writes it, so
+// every client sees the terminal state exactly where the stream ends.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	if s.jobsUnavailable(w) {
 		return
 	}
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{"streaming unsupported"})
-		return
-	}
-	cur, ch, cancel, ok := s.jobs.Watch(r.PathValue("id"))
+	id := r.PathValue("id")
+	cur, ch, cancel, ok := s.jobs.Watch(id)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{"unknown job"})
 		return
 	}
 	defer cancel()
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.Header().Set("X-Accel-Buffering", "no")
-	w.WriteHeader(http.StatusOK)
+	st, ok := obs.NewSSEStream(w)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{"streaming unsupported"})
+		return
+	}
+	if s.opts.SSEKeepAlive >= 0 {
+		stop := st.KeepAlive(r.Context(), s.opts.SSEKeepAlive)
+		defer stop()
+	}
 
 	write := func(v jobs.View) bool {
 		b, err := json.Marshal(v)
 		if err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "event: state\ndata: %s\n\n", b); err != nil {
-			return false
-		}
-		fl.Flush()
-		return true
+		return st.WriteEvent("state", "", b)
 	}
+	last := cur
 	if !write(cur) || cur.State.Terminal() {
 		return
 	}
@@ -176,8 +194,19 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		case v, ok := <-ch:
 			if !ok {
+				// Channel closed: the job settled. If the terminal frame
+				// was dropped (the last view we wrote is non-terminal),
+				// fetch and write the final state before ending the
+				// stream. Eviction can outrace us; then there is nothing
+				// left to report.
+				if !last.State.Terminal() {
+					if v, ok := s.jobs.Get(id); ok && v.State.Terminal() {
+						write(v)
+					}
+				}
 				return
 			}
+			last = v
 			if !write(v) || v.State.Terminal() {
 				return
 			}

@@ -29,6 +29,7 @@ import (
 	"github.com/routeplanning/mamorl/internal/geo"
 	"github.com/routeplanning/mamorl/internal/grid"
 	"github.com/routeplanning/mamorl/internal/jobs"
+	"github.com/routeplanning/mamorl/internal/limits"
 	"github.com/routeplanning/mamorl/internal/obs"
 	"github.com/routeplanning/mamorl/internal/partial"
 	"github.com/routeplanning/mamorl/internal/registry"
@@ -85,6 +86,30 @@ type Options struct {
 	// JobTimeout bounds one async planning job's execution; <= 0 falls
 	// back to PlanTimeout.
 	JobTimeout time.Duration
+	// JobRetention bounds how long terminal job records stay queryable
+	// (0 selects the jobs package default, negative disables expiry);
+	// JobMaxRecords caps how many are retained (0 selects the default,
+	// negative uncaps). Without them, every completed job would stay in
+	// memory for the life of the process.
+	JobRetention  time.Duration
+	JobMaxRecords int
+	// JobWeights biases the weighted-fair dequeue across idempotency-key
+	// namespaces (the prefix before the first '/'); unlisted namespaces
+	// weigh 1. nil keeps every namespace equal.
+	JobWeights map[string]int
+	// MaxNodes / MaxSamples / MaxBytes bound one planning request's
+	// resource budget: nodes expanded by planners, training samples
+	// drawn, and approximate bytes allocated for mission state. A request
+	// that exhausts its budget answers HTTP 429 with a structured body
+	// naming the resource. <= 0 leaves that resource unlimited; all three
+	// unset disables budgeting entirely (the nil-budget fast path).
+	MaxNodes   int64
+	MaxSamples int64
+	MaxBytes   int64
+	// SSEKeepAlive is the idle keep-alive cadence of the SSE endpoints
+	// (/debug/metrics/stream and /api/jobs/{id}/events). 0 selects
+	// obs.DefaultKeepAliveInterval; negative disables keep-alives.
+	SSEKeepAlive time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -168,6 +193,9 @@ func NewServerOpts(seed int64, opts Options) (*Server, error) {
 		Workers:        opts.JobWorkers,
 		QueueDepth:     opts.JobQueueDepth,
 		DefaultTimeout: opts.JobTimeout,
+		Retention:      opts.JobRetention,
+		MaxTerminal:    opts.JobMaxRecords,
+		Weights:        opts.JobWeights,
 		Metrics:        opts.Metrics,
 		Tracer:         tracer,
 	})
@@ -286,6 +314,8 @@ func registerHelp(m *obs.Registry) {
 		"tmplar_grids_installed_total":        "Grid registrations (uploads and programmatic installs).",
 		"trace_span_seconds":                  "Span durations from the request tracer, by span name.",
 		"trace_spans_total":                   "Spans completed by the request tracer, by span name.",
+		"limits_charged_total":                "Budget units charged by planning requests, by resource.",
+		"limits_exhausted_total":              "Planning requests aborted over budget, by resource.",
 	} {
 		m.SetHelp(name, help)
 	}
@@ -656,7 +686,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"metrics sampler not available"})
 		return
 	}
-	obs.StreamHandler(s.sampler).ServeHTTP(w, r)
+	obs.StreamHandlerOpts(s.sampler, s.opts.SSEKeepAlive).ServeHTTP(w, r)
 }
 
 // gridInfo summarizes a registered grid.
@@ -765,6 +795,73 @@ func (s *Server) deadlineFor(req PlanRequest) time.Duration {
 	return d
 }
 
+// newBudget builds one request's resource budget from the configured
+// ceilings, or nil (the zero-cost path) when no ceiling is set. Budgets
+// are strictly per-request: each call returns a fresh accounting object,
+// so one runaway request cannot starve the next.
+func (s *Server) newBudget() *limits.Budget {
+	if s.opts.MaxNodes <= 0 && s.opts.MaxSamples <= 0 && s.opts.MaxBytes <= 0 {
+		return nil
+	}
+	return limits.New(limits.Limits{
+		Nodes:   s.opts.MaxNodes,
+		Samples: s.opts.MaxSamples,
+		Bytes:   s.opts.MaxBytes,
+	})
+}
+
+// overBudgetResponse is the structured 429 body of a budget-exhausted
+// request: which resource ran out, its ceiling, and how much was used at
+// the abort (Used may exceed Limit — charges are cooperative, the loop
+// aborts at the next epoch boundary).
+type overBudgetResponse struct {
+	Error    string `json:"error"`
+	Resource string `json:"resource"`
+	Limit    int64  `json:"limit"`
+	Used     int64  `json:"used"`
+}
+
+// writeOverBudget answers err as a structured 429 when it carries an
+// ErrOverBudget, reporting whether it did.
+func writeOverBudget(w http.ResponseWriter, err error) bool {
+	var ob *limits.ErrOverBudget
+	if !errors.As(err, &ob) {
+		return false
+	}
+	writeJSON(w, http.StatusTooManyRequests, overBudgetResponse{
+		Error:    err.Error(),
+		Resource: ob.Resource.String(),
+		Limit:    ob.Limit,
+		Used:     ob.Used,
+	})
+	return true
+}
+
+// recordBudget folds one request's budget usage into the shared metrics
+// and, on exhaustion, stamps a budget.exhausted event on the plan span so
+// traces show which resource ran out and by how much.
+func (s *Server) recordBudget(sp *trace.Span, b *limits.Budget, err error) {
+	if b == nil {
+		return
+	}
+	m := s.opts.Metrics
+	for _, r := range limits.Resources() {
+		if u := b.Used(r); u > 0 {
+			m.Counter("limits_charged_total", "resource", r.String()).Add(uint64(u))
+		}
+	}
+	var ob *limits.ErrOverBudget
+	if errors.As(err, &ob) {
+		m.Counter("limits_exhausted_total", "resource", ob.Resource.String()).Inc()
+		if sp.Enabled() {
+			sp.Event("budget.exhausted",
+				trace.String("resource", ob.Resource.String()),
+				trace.Int("limit", ob.Limit),
+				trace.Int("used", ob.Used))
+		}
+	}
+}
+
 // servePlan runs a plan under the request deadline and writes the outcome,
 // recording plan metrics either way. A deadline expiry answers 503 (the
 // service is alive; this request's mission was too heavy for its budget),
@@ -776,13 +873,16 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, req PlanReque
 	defer cancel()
 
 	start := time.Now()
-	resp, status, err := s.plan(ctx, req)
+	resp, status, err := s.plan(ctx, req, s.newBudget())
 	elapsed := time.Since(start)
 
 	m := s.opts.Metrics
 	m.Histogram("tmplar_plan_seconds", obs.DefaultLatencyBuckets,
 		"endpoint", r.URL.Path).Observe(elapsed.Seconds())
 	if err != nil {
+		if writeOverBudget(w, err) {
+			return
+		}
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			m.Counter("tmplar_plan_deadline_exceeded_total").Inc()
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
@@ -806,10 +906,13 @@ func algoLabel(algo string) string {
 	return algo
 }
 
-// plan executes a mission for a request, aborting when ctx expires. The
-// mission span parents under the request span carried by ctx, so one trace
-// ID covers the request from HTTP edge to simulation.
-func (s *Server) plan(ctx context.Context, req PlanRequest) (*PlanResponse, int, error) {
+// plan executes a mission for a request, aborting when ctx expires or the
+// request budget is exhausted (HTTP 429). The mission span parents under
+// the request span carried by ctx, so one trace ID covers the request from
+// HTTP edge to simulation. budget may be nil (unlimited); it is shared by
+// the planner and the mission loop so a planner-latched violation aborts
+// the run at the next epoch.
+func (s *Server) plan(ctx context.Context, req PlanRequest, budget *limits.Budget) (*PlanResponse, int, error) {
 	sp := trace.SpanFromContext(ctx).Child("plan",
 		trace.String("grid", req.Grid),
 		trace.String("algorithm", algoLabel(req.Algorithm)),
@@ -856,13 +959,16 @@ func (s *Server) plan(ctx context.Context, req PlanRequest) (*PlanResponse, int,
 	collision := sim.RecordCollisions
 	switch req.Algorithm {
 	case "", "approx":
-		planner = approx.NewPlanner(s.model, s.ext, req.Seed)
+		ap := approx.NewPlanner(s.model, s.ext, req.Seed)
+		ap.SetBudget(budget)
+		planner = ap
 	case "approx-pk":
 		if req.Region == nil {
 			return nil, http.StatusBadRequest, fmt.Errorf("approx-pk requires a region")
 		}
 		rect := geo.Rect(*req.Region)
 		inner := approx.NewPlanner(s.model, s.ext, req.Seed)
+		inner.SetBudget(budget)
 		pk, err := partial.NewPlanner(sc, rect, inner)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
@@ -914,10 +1020,15 @@ func (s *Server) plan(ctx context.Context, req PlanRequest) (*PlanResponse, int,
 		}
 	}
 	res, err := sim.RunContext(ctx, sc, planner,
-		sim.RunOptions{Collision: collision, OnStep: record, TraceParent: sp})
+		sim.RunOptions{Collision: collision, OnStep: record, TraceParent: sp, Budget: budget})
+	s.recordBudget(sp, budget, err)
 	if err != nil {
 		if sp.Enabled() {
 			sp.SetAttrs(trace.String("error", err.Error()))
+		}
+		var ob *limits.ErrOverBudget
+		if errors.As(err, &ob) {
+			return nil, http.StatusTooManyRequests, err
 		}
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			return nil, http.StatusServiceUnavailable, err

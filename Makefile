@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_6.json
 # bench-compare inputs: the stored baseline and the report to vet against it.
-BENCH_OLD ?= BENCH_4.json
+BENCH_OLD ?= BENCH_5.json
 BENCH_NEW ?= $(BENCH_OUT)
 BENCH_THRESHOLD ?= 15
 
@@ -26,9 +26,11 @@ race:
 # race-exec focuses the detector on the parallel experiment executor, the
 # simulator it fans out over, the lock-free trace ring they emit into, the
 # metrics sampler/SSE fan-out, the async job queue, the resource-budget
-# accounting, and the model registry (the packages with real concurrency).
+# accounting, the model registry, and the data-parallel training stack
+# (neural/linreg worker pools, flat sample tensors) — the packages with
+# real concurrency.
 race-exec:
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/... ./internal/obs/... ./internal/jobs/... ./internal/limits/... ./internal/registry/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/... ./internal/obs/... ./internal/jobs/... ./internal/limits/... ./internal/registry/... ./internal/neural/... ./internal/linreg/... ./internal/approx/... ./internal/tensor/...
 
 # check is what CI runs (.github/workflows/ci.yml).
 check: build vet fmt-check test race

@@ -50,20 +50,21 @@ var (
 
 func main() {
 	var (
-		only       = flag.String("only", "", "comma-separated subset: table2,table3,lemmas,table6,fig3,fig4,fig5,fig6,fig7,fig8,ablation,rendezvous,commrange")
-		paperscale = flag.Bool("paperscale", false, "full 10-run averaging and full sweeps (slow)")
-		seed       = flag.Int64("seed", 1, "base random seed")
-		nnEpochs   = flag.Int("nn-epochs", 300, "NN-Approx training epochs; pass 10000 for the full Table 5 budget (slow)")
-		csvDir     = flag.String("csv", "", "also write machine-readable CSVs of each experiment into this directory")
-		parallel   = flag.Int("parallel", runtime.NumCPU(), "max concurrent mission runs across experiment cells; 1 disables parallelism")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		traceOut   = flag.String("trace-out", "", "write completed spans (cells, runs, missions) as JSONL to this file")
-		metricsOut = flag.String("metrics-out", "", "write the suite's metrics in Prometheus text format to this file on exit")
-		curvesOut  = flag.String("curves-out", "", "write per-episode learning curves to this file (.json for JSON, else CSV)")
-		dashAddr   = flag.String("dash", "", "serve the live dashboard (/debug/dash, /debug/metrics/stream, /metrics) on this address; disabled when empty")
-		logFormat  = flag.String("log-format", "text", "log output format: text or json")
-		quiet      = flag.Bool("quiet", false, "suppress the live progress line")
+		only         = flag.String("only", "", "comma-separated subset: table2,table3,lemmas,table6,fig3,fig4,fig5,fig6,fig7,fig8,ablation,rendezvous,commrange")
+		paperscale   = flag.Bool("paperscale", false, "full 10-run averaging and full sweeps (slow)")
+		seed         = flag.Int64("seed", 1, "base random seed")
+		nnEpochs     = flag.Int("nn-epochs", 300, "NN-Approx training epochs; pass 10000 for the full Table 5 budget (slow)")
+		trainWorkers = flag.Int("train-workers", 1, "goroutines sharding model fitting (linreg gram, NN minibatch SGD); results are byte-identical at any value")
+		csvDir       = flag.String("csv", "", "also write machine-readable CSVs of each experiment into this directory")
+		parallel     = flag.Int("parallel", runtime.NumCPU(), "max concurrent mission runs across experiment cells; 1 disables parallelism")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut     = flag.String("trace-out", "", "write completed spans (cells, runs, missions) as JSONL to this file")
+		metricsOut   = flag.String("metrics-out", "", "write the suite's metrics in Prometheus text format to this file on exit")
+		curvesOut    = flag.String("curves-out", "", "write per-episode learning curves to this file (.json for JSON, else CSV)")
+		dashAddr     = flag.String("dash", "", "serve the live dashboard (/debug/dash, /debug/metrics/stream, /metrics) on this address; disabled when empty")
+		logFormat    = flag.String("log-format", "text", "log output format: text or json")
+		quiet        = flag.Bool("quiet", false, "suppress the live progress line")
 	)
 	flag.Parse()
 
@@ -268,7 +269,7 @@ func main() {
 	var h *experiments.Harness
 	if needHarness {
 		logger.Info("training Approx-MaMoRL (Section 4.2 pipeline)")
-		cfg := approx.TrainConfig{Seed: *seed, Tracer: tracer}
+		cfg := approx.TrainConfig{Seed: *seed, Tracer: tracer, FitWorkers: *trainWorkers}
 		if curves != nil {
 			cfg.OnEpisode = curves.OnEpisode
 		}
@@ -300,7 +301,7 @@ func main() {
 		// Table 5's full budget is batch 1000 / 10000 epochs; -nn-epochs
 		// bounds the run regardless of -paperscale so the suite stays
 		// interactive (pass -nn-epochs 10000 for the full budget).
-		opts := neural.TrainOptions{Epochs: *nnEpochs, BatchSize: 256, LearningRate: 0.05}
+		opts := neural.TrainOptions{Epochs: *nnEpochs, BatchSize: 256, LearningRate: 0.05, Workers: *trainWorkers}
 		if *paperscale {
 			opts.BatchSize = neural.DefaultBatchSize
 		}

@@ -9,6 +9,7 @@ import (
 	"github.com/routeplanning/mamorl/internal/limits"
 	"github.com/routeplanning/mamorl/internal/linreg"
 	"github.com/routeplanning/mamorl/internal/neural"
+	"github.com/routeplanning/mamorl/internal/tensor"
 )
 
 // Model approximates both modules: the TMM's P values and the LM's reward
@@ -49,19 +50,33 @@ func (m *LinearModel) Name() string { return "Approx-MaMoRL" }
 // FitLinear fits the linear model pair by least squares (Equations 10 and
 // 12) and reports the training wall time (the Figure 3 comparison metric).
 func FitLinear(data *TrainingData) (*LinearModel, time.Duration, error) {
-	return FitLinearBudget(data, nil)
+	return FitLinearOpts(data, nil, 0)
 }
 
 // FitLinearBudget is FitLinear with the rows and solver workspace charged
 // against b (nil fits unlimited).
 func FitLinearBudget(data *TrainingData, b *limits.Budget) (*LinearModel, time.Duration, error) {
+	return FitLinearOpts(data, b, 0)
+}
+
+// FitLinearOpts is FitLinear with a budget and a gram-accumulation worker
+// count. Fitted weights are byte-identical at any workers value.
+func FitLinearOpts(data *TrainingData, b *limits.Budget, workers int) (*LinearModel, time.Duration, error) {
 	start := time.Now()
-	opts := linreg.Options{FitIntercept: true, Ridge: 1e-6, Budget: b}
-	tmm, err := linreg.Fit(data.TMMX, data.TMMY, opts)
+	opts := linreg.Options{FitIntercept: true, Ridge: 1e-6, Workers: workers, Budget: b}
+	tmmX, err := data.TMMMatrix()
+	if err != nil {
+		return nil, 0, err
+	}
+	lmX, err := data.LMMatrix()
+	if err != nil {
+		return nil, 0, err
+	}
+	tmm, err := linreg.FitMatrix(tmmX, data.TMMY, opts)
 	if err != nil {
 		return nil, 0, fmt.Errorf("approx: TMM fit: %w", err)
 	}
-	lm, err := linreg.Fit(data.LMX, data.LMY, opts)
+	lm, err := linreg.FitMatrix(lmX, data.LMY, opts)
 	if err != nil {
 		return nil, 0, fmt.Errorf("approx: LM fit: %w", err)
 	}
@@ -152,10 +167,26 @@ func FitNeural(data *TrainingData, opts neural.TrainOptions, seed int64) (*Neura
 	if err != nil {
 		return nil, 0, err
 	}
-	if _, err := tmm.Train(data.TMMX, wrap(data.TMMY), opts); err != nil {
+	tmmX, err := data.TMMMatrix()
+	if err != nil {
+		return nil, 0, err
+	}
+	lmX, err := data.LMMatrix()
+	if err != nil {
+		return nil, 0, err
+	}
+	tmmY, err := tensor.FromSlice(data.TMMY, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	lmY, err := tensor.FromSlice(data.LMY, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := tmm.TrainMatrix(tmmX, tmmY, opts); err != nil {
 		return nil, 0, fmt.Errorf("approx: TMM net: %w", err)
 	}
-	if _, err := lm.Train(data.LMX, wrap(data.LMY), opts); err != nil {
+	if _, err := lm.TrainMatrix(lmX, lmY, opts); err != nil {
 		return nil, 0, fmt.Errorf("approx: LM net: %w", err)
 	}
 	return &NeuralModel{TMM: tmm, LM: lm}, time.Since(start), nil
@@ -163,15 +194,12 @@ func FitNeural(data *TrainingData, opts neural.TrainOptions, seed int64) (*Neura
 
 // FitLoss reports the pair's mean squared error on the training samples.
 func (m *NeuralModel) FitLoss(data *TrainingData) (tmm, lm float64) {
-	return m.TMM.MSE(data.TMMX, wrap(data.TMMY)), m.LM.MSE(data.LMX, wrap(data.LMY))
-}
-
-// wrap lifts a scalar target slice into the row-per-sample shape the
-// network trainer expects.
-func wrap(y []float64) [][]float64 {
-	out := make([][]float64, len(y))
-	for i, v := range y {
-		out[i] = []float64{v}
+	tmmX, err1 := data.TMMMatrix()
+	lmX, err2 := data.LMMatrix()
+	tmmY, err3 := tensor.FromSlice(data.TMMY, 1)
+	lmY, err4 := tensor.FromSlice(data.LMY, 1)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		return 0, 0
 	}
-	return out
+	return m.TMM.MSEMatrix(tmmX, tmmY), m.LM.MSEMatrix(lmX, lmY)
 }

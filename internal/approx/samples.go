@@ -13,13 +13,18 @@ import (
 	"github.com/routeplanning/mamorl/internal/core"
 	"github.com/routeplanning/mamorl/internal/features"
 	"github.com/routeplanning/mamorl/internal/limits"
+	"github.com/routeplanning/mamorl/internal/obs"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/tensor"
 	"github.com/routeplanning/mamorl/internal/trace"
 	"github.com/routeplanning/mamorl/internal/vessel"
 )
 
 // TrainingData holds regression samples for both approximated modules.
+// Feature rows live in one flat backing matrix per module; the exported
+// [][]float64 fields are row views into it (or caller-built rows for
+// hand-assembled data — both shapes work everywhere TrainingData goes).
 type TrainingData struct {
 	// TMM samples: features (Equation 9) -> P values sampled from the exact
 	// solver's Teammate Module (Equation 10's targets).
@@ -29,10 +34,38 @@ type TrainingData struct {
 	// (Equation 12's targets).
 	LMX [][]float64
 	LMY []float64
+
+	tmmXm *tensor.Matrix
+	lmXm  *tensor.Matrix
 }
 
 // Len returns the sample counts.
 func (d *TrainingData) Len() (tmm, lm int) { return len(d.TMMY), len(d.LMY) }
+
+// TMMMatrix returns the TMM design matrix as a flat tensor, building it
+// from the row slices when the data was not collected flat.
+func (d *TrainingData) TMMMatrix() (*tensor.Matrix, error) {
+	if d.tmmXm == nil {
+		m, err := tensor.FromRows(d.TMMX)
+		if err != nil {
+			return nil, fmt.Errorf("approx: TMM samples: %w", err)
+		}
+		d.tmmXm = m
+	}
+	return d.tmmXm, nil
+}
+
+// LMMatrix is TMMMatrix for the LM samples.
+func (d *TrainingData) LMMatrix() (*tensor.Matrix, error) {
+	if d.lmXm == nil {
+		m, err := tensor.FromRows(d.LMX)
+		if err != nil {
+			return nil, fmt.Errorf("approx: LM samples: %w", err)
+		}
+		d.lmXm = m
+	}
+	return d.lmXm, nil
+}
 
 // rewardProxy is the r_{i,a_i,s} regression target: asset i's share of the
 // Section 3.1.1 reward for taking action a, computable in closed form
@@ -92,6 +125,11 @@ type CollectOptions struct {
 	// Tracer, when non-nil, records one "sample.episode" span per sampling
 	// mission with the cumulative sample counts.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives the samples_skipped_total counter:
+	// degenerate teammate states (legal-action count disagreeing with the
+	// exact P distribution) used to be dropped invisibly; now every drop is
+	// counted.
+	Metrics *obs.Registry
 	// Budget, when non-nil, is charged one Samples unit (plus the row's
 	// approximate Bytes) per harvested regression sample; collection aborts
 	// between episodes once it is exhausted. nil collects unlimited.
@@ -116,18 +154,37 @@ func (o CollectOptions) withDefaults() CollectOptions {
 // collected in both destination regimes: unknown (β = 0) and known (β
 // active, progress in the target), matching the paper's two-regime feature
 // design.
+//
+// Samples land in flat row-major matrices — one backing array per module,
+// grown geometrically — with the TrainingData row-view fields materialized
+// once at the end, so harvesting N samples costs O(log N) slice growths
+// instead of one allocation per row.
 func CollectSamples(pl *core.Planner, opts CollectOptions) (*TrainingData, error) {
 	opts = opts.withDefaults()
 	sc := pl.Scenario()
-	data := &TrainingData{}
+	data := &TrainingData{
+		tmmXm: tensor.NewMatrix(features.TMMDim),
+		lmXm:  tensor.NewMatrix(features.LMDim),
+	}
 	w := opts.Weights.Normalized()
+	var skipped *obs.Counter
+	if opts.Metrics != nil {
+		skipped = opts.Metrics.Counter("samples_skipped_total")
+	}
 
-	// charge bills one harvested row: one sample plus its feature-vector
-	// bytes (8 per float64 plus the slice header).
+	// charge bills one harvested row: one sample plus its feature bytes.
 	charge := func(x []float64) {
 		_ = opts.Budget.Charge(limits.Samples, 1)
 		_ = opts.Budget.Charge(limits.Bytes, int64(8*len(x)+24))
 	}
+	// Per-collection scratch, reused across every step: feature contexts
+	// (their α caches and hop scratch persist), one feature buffer, one
+	// legal-action buffer.
+	var (
+		tmmCtx, lmCtxNo, lmCtxDest features.NodeContext
+		xbuf                       []float64
+		actBuf                     []sim.Action
+	)
 	collect := func(m *sim.Mission, _ []sim.Action) {
 		n := m.NumAssets()
 		for i := 0; i < n; i++ {
@@ -137,26 +194,34 @@ func CollectSamples(pl *core.Planner, opts CollectOptions) (*TrainingData, error
 				}
 				dist := pl.PDistribution(m, i, j)
 				vj := m.Knowledge(i).LastKnown[j]
-				acts := sim.LegalActions(m.Grid(), vj, sc.Team[j].MaxSpeed)
-				if len(acts) != len(dist) {
-					continue // degenerate (should not happen): skip sample
+				actBuf = sim.AppendLegalActions(actBuf[:0], m.Grid(), vj, sc.Team[j].MaxSpeed)
+				if len(actBuf) != len(dist) {
+					// Degenerate (should not happen): drop, but visibly.
+					if skipped != nil {
+						skipped.Add(uint64(len(dist)))
+					}
+					continue
 				}
-				for aIdx, a := range acts {
-					x := opts.Extractor.TMM(m, i, j, a, features.NoDest)
-					charge(x)
-					data.TMMX = append(data.TMMX, x)
+				opts.Extractor.TMMContextInto(&tmmCtx, m, i, j, features.NoDest)
+				for aIdx, a := range actBuf {
+					xbuf = tmmCtx.AppendFeatures(xbuf[:0], a)
+					charge(xbuf)
+					data.tmmXm.AppendRow(xbuf)
 					data.TMMY = append(data.TMMY, dist[aIdx])
 				}
 			}
-			for _, a := range m.LegalActionsFor(i) {
-				x := opts.Extractor.LM(m, i, a, features.NoDest)
-				charge(x)
-				data.LMX = append(data.LMX, x)
+			opts.Extractor.LMContextInto(&lmCtxNo, m, i, features.NoDest)
+			opts.Extractor.LMContextInto(&lmCtxDest, m, i, sc.Dest)
+			actBuf = m.AppendLegalActionsFor(actBuf[:0], i)
+			for _, a := range actBuf {
+				xbuf = lmCtxNo.AppendFeatures(xbuf[:0], a)
+				charge(xbuf)
+				data.lmXm.AppendRow(xbuf)
 				data.LMY = append(data.LMY, rewardProxy(m, i, a, features.NoDest, w))
 
-				x = opts.Extractor.LM(m, i, a, sc.Dest)
-				charge(x)
-				data.LMX = append(data.LMX, x)
+				xbuf = lmCtxDest.AppendFeatures(xbuf[:0], a)
+				charge(xbuf)
+				data.lmXm.AppendRow(xbuf)
 				data.LMY = append(data.LMY, rewardProxy(m, i, a, sc.Dest, w))
 			}
 		}
@@ -171,7 +236,7 @@ func CollectSamples(pl *core.Planner, opts CollectOptions) (*TrainingData, error
 			return nil, fmt.Errorf("approx: sampling episode %d: %w", ep, err)
 		}
 		if sp.Enabled() {
-			tmm, lm := data.Len()
+			tmm, lm := len(data.TMMY), len(data.LMY)
 			sp.SetAttrs(trace.Int("tmm_samples", int64(tmm)), trace.Int("lm_samples", int64(lm)))
 			sp.End()
 		}
@@ -179,5 +244,8 @@ func CollectSamples(pl *core.Planner, opts CollectOptions) (*TrainingData, error
 	if len(data.TMMY) == 0 || len(data.LMY) == 0 {
 		return nil, fmt.Errorf("approx: sampling produced no data (missions end immediately?)")
 	}
+	// The matrices are done growing; materialize the row views.
+	data.TMMX = data.tmmXm.RowViews()
+	data.LMX = data.lmXm.RowViews()
 	return data, nil
 }

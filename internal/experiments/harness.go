@@ -49,7 +49,7 @@ func NewHarness(cfg approx.TrainConfig) (*Harness, error) {
 		return nil, err
 	}
 	sp := cfg.Tracer.Start("fit.linear")
-	lin, dur, err := approx.FitLinear(pipe.Data)
+	lin, dur, err := approx.FitLinearOpts(pipe.Data, nil, cfg.FitWorkers)
 	if err != nil {
 		sp.End()
 		return nil, err

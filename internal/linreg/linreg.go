@@ -9,14 +9,24 @@
 // system well-posed when features are collinear (several of the paper's
 // indicator features frequently are, e.g. α and β can coincide on small
 // grids).
+//
+// The gram accumulation is flat and chunked: rows are consumed in
+// fixed-size chunks, each chunk sums into its own partial, and partials are
+// reduced in chunk-index order. Chunks may be computed by a worker pool
+// (Options.Workers), and because chunk boundaries and the reduction order
+// never depend on the worker count, fitted weights are byte-identical at
+// any Workers value.
 package linreg
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"github.com/routeplanning/mamorl/internal/limits"
+	"github.com/routeplanning/mamorl/internal/tensor"
 )
 
 // Options configures Fit.
@@ -27,6 +37,10 @@ type Options struct {
 	Ridge float64
 	// FitIntercept adds a constant bias term to the model.
 	FitIntercept bool
+	// Workers shards the gram accumulation across this many goroutines.
+	// Fitted weights are byte-identical at any value (fixed-size chunks,
+	// chunk-order reduction); 0 or 1 fits serially.
+	Workers int
 	// Budget, when non-nil, is charged the rows consumed (Samples) and the
 	// normal-equation workspace (Bytes); Fit fails with a wrapped
 	// *limits.ErrOverBudget when it is exhausted. nil fits unlimited.
@@ -35,6 +49,11 @@ type Options struct {
 
 // DefaultRidge is the regularization used when Options.Ridge is zero.
 const DefaultRidge = 1e-8
+
+// fitChunkRows is the fixed shard width of the gram accumulation. It is
+// independent of Options.Workers by design — that is what keeps the
+// chunk-order reduction deterministic.
+const fitChunkRows = 256
 
 // Model is a fitted linear model.
 type Model struct {
@@ -47,7 +66,8 @@ type Model struct {
 // ErrBadData reports unusable training input.
 var ErrBadData = errors.New("linreg: bad training data")
 
-// Fit solves min_w Σ (y - Xw)² (+ λ‖w‖²).
+// Fit solves min_w Σ (y - Xw)² (+ λ‖w‖²). It copies the rows into a flat
+// matrix once; use FitMatrix on already-flat data to skip the copy.
 func Fit(X [][]float64, y []float64, opts Options) (*Model, error) {
 	if len(X) == 0 || len(X) != len(y) {
 		return nil, fmt.Errorf("%w: %d rows, %d targets", ErrBadData, len(X), len(y))
@@ -60,12 +80,32 @@ func Fit(X [][]float64, y []float64, opts Options) (*Model, error) {
 		if len(row) != d {
 			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrBadData, i, len(row), d)
 		}
-		for _, v := range row {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("%w: non-finite feature in row %d", ErrBadData, i)
-			}
+	}
+	Xm, err := tensor.FromRows(X)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadData, err)
+	}
+	return FitMatrix(Xm, y, opts)
+}
+
+// FitMatrix is Fit over a flat row-major design matrix.
+func FitMatrix(X *tensor.Matrix, y []float64, opts Options) (*Model, error) {
+	if X == nil || X.Rows() == 0 || X.Rows() != len(y) {
+		rows := 0
+		if X != nil {
+			rows = X.Rows()
 		}
-		if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+		return nil, fmt.Errorf("%w: %d rows, %d targets", ErrBadData, rows, len(y))
+	}
+	d := X.Cols()
+	data := X.Data()
+	for i, v := range data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite feature in row %d", ErrBadData, i/d)
+		}
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return nil, fmt.Errorf("%w: non-finite target in row %d", ErrBadData, i)
 		}
 	}
@@ -81,33 +121,86 @@ func Fit(X [][]float64, y []float64, opts Options) (*Model, error) {
 	if opts.FitIntercept {
 		cols++
 	}
-	if err := opts.Budget.Charge(limits.Samples, int64(len(X))); err != nil {
+	rows := X.Rows()
+	nchunks := (rows + fitChunkRows - 1) / fitChunkRows
+	// Per chunk: upper-triangle gram packed flat (cols*cols for simplicity)
+	// plus the rhs vector.
+	stride := cols*cols + cols
+	if err := opts.Budget.Charge(limits.Samples, int64(rows)); err != nil {
 		return nil, fmt.Errorf("linreg: fit over budget: %w", err)
 	}
-	if err := opts.Budget.Charge(limits.Bytes, int64(cols*cols+2*cols)*8); err != nil {
+	if err := opts.Budget.Charge(limits.Bytes, int64(nchunks*stride+cols*cols+2*cols)*8); err != nil {
 		return nil, fmt.Errorf("linreg: fit over budget: %w", err)
 	}
-	// Normal equations: gram = XᵀX + λI, rhs = Xᵀy, with an appended
-	// all-ones column when fitting an intercept.
+	partials := make([]float64, nchunks*stride)
+	accumulate := func(c int) {
+		part := partials[c*stride : (c+1)*stride]
+		gram, rhs := part[:cols*cols], part[cols*cols:]
+		lo := c * fitChunkRows
+		hi := min(lo+fitChunkRows, rows)
+		for r := lo; r < hi; r++ {
+			row := data[r*d : (r+1)*d]
+			yr := y[r]
+			for i := 0; i < cols; i++ {
+				fi := 1.0
+				if i < d {
+					fi = row[i]
+				}
+				rhs[i] += fi * yr
+				gi := gram[i*cols:]
+				for j := i; j < d; j++ {
+					gi[j] += fi * row[j]
+				}
+				if cols > d {
+					gi[d] += fi
+				}
+			}
+		}
+	}
+	workers := min(opts.Workers, nchunks)
+	if workers <= 1 {
+		for c := 0; c < nchunks; c++ {
+			accumulate(c)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= nchunks {
+						return
+					}
+					accumulate(c)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic reduction in chunk-index order, then mirror the upper
+	// triangle and add the ridge.
 	gram := make([][]float64, cols)
 	for i := range gram {
 		gram[i] = make([]float64, cols)
 	}
 	rhs := make([]float64, cols)
-	feat := func(row []float64, j int) float64 {
-		if j == d {
-			return 1
-		}
-		return row[j]
-	}
-	for r, row := range X {
-		for i := 0; i < cols; i++ {
-			fi := feat(row, i)
-			rhs[i] += fi * y[r]
-			for j := i; j < cols; j++ {
-				gram[i][j] += fi * feat(row, j)
+	for i := 0; i < cols; i++ {
+		for j := i; j < cols; j++ {
+			g := 0.0
+			for c := 0; c < nchunks; c++ {
+				g += partials[c*stride+i*cols+j]
 			}
+			gram[i][j] = g
 		}
+		r := 0.0
+		for c := 0; c < nchunks; c++ {
+			r += partials[c*stride+cols*cols+i]
+		}
+		rhs[i] = r
 	}
 	for i := 0; i < cols; i++ {
 		for j := 0; j < i; j++ {

@@ -4,7 +4,24 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"github.com/routeplanning/mamorl/internal/tensor"
 )
+
+// batchTrainer builds a trainer over (X, y) for driving single batches in
+// tests. Callers must stop() it.
+func batchTrainer(t *testing.T, n *Network, X, y [][]float64, lr float64) *trainer {
+	t.Helper()
+	Xm, err := tensor.FromRows(X)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	Ym, err := tensor.FromRows(y)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return newTrainer(n, Xm, Ym, TrainOptions{LearningRate: lr}.withDefaults())
+}
 
 // TestBackpropMatchesNumericalGradient verifies the backpropagation
 // implementation against central-difference numerical gradients on a small
@@ -23,9 +40,8 @@ func TestBackpropMatchesNumericalGradient(t *testing.T) {
 	x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
 	y := []float64{0.7}
 
-	// Loss for the current parameters: 0.5 factor omitted; MSE on one
-	// sample is (pred-y)^2, while sgdBatch uses gradient of 0.5*(pred-y)^2
-	// per its delta = (pred-y); match that convention.
+	// Loss for the current parameters: 0.5 factor because backprop's
+	// delta = (pred-y) is the gradient of 0.5*(pred-y)^2.
 	loss := func() float64 {
 		d := n.Predict(x)[0] - y[0]
 		return 0.5 * d * d
@@ -43,25 +59,27 @@ func TestBackpropMatchesNumericalGradient(t *testing.T) {
 		for o := 0; o < l.outs; o++ {
 			params = append(params, pref{li, o, -1, l.b[o]})
 			for in := 0; in < l.in; in++ {
-				params = append(params, pref{li, o, in, l.w[o][in]})
+				params = append(params, pref{li, o, in, l.w[o*l.in+in]})
 			}
 		}
 	}
-	n.sgdBatch([][]float64{x}, [][]float64{y}, []int{0}, lr)
+	tr := batchTrainer(t, n, [][]float64{x}, [][]float64{y}, lr)
+	defer tr.stop()
+	tr.runBatch([]int{0})
 	analytic := make([]float64, len(params))
 	for pi, p := range params {
 		var after float64
 		if p.in < 0 {
 			after = n.layers[p.layer].b[p.out]
 		} else {
-			after = n.layers[p.layer].w[p.out][p.in]
+			after = n.layers[p.layer].w[p.out*n.layers[p.layer].in+p.in]
 		}
 		analytic[pi] = (p.before - after) / lr
 		// Restore the parameter.
 		if p.in < 0 {
 			n.layers[p.layer].b[p.out] = p.before
 		} else {
-			n.layers[p.layer].w[p.out][p.in] = p.before
+			n.layers[p.layer].w[p.out*n.layers[p.layer].in+p.in] = p.before
 		}
 	}
 
@@ -72,7 +90,7 @@ func TestBackpropMatchesNumericalGradient(t *testing.T) {
 			if p.in < 0 {
 				n.layers[p.layer].b[p.out] = v
 			} else {
-				n.layers[p.layer].w[p.out][p.in] = v
+				n.layers[p.layer].w[p.out*n.layers[p.layer].in+p.in] = v
 			}
 		}
 		set(p.before + h)
@@ -106,11 +124,35 @@ func TestGradientDescentReducesLoss(t *testing.T) {
 	for i := range idx {
 		idx[i] = i
 	}
+	tr := batchTrainer(t, n, X, y, 0.01)
+	defer tr.stop()
 	prev := n.MSE(X, y)
 	for step := 0; step < 200; step++ {
-		n.sgdBatch(X, y, idx, 0.01)
+		tr.runBatch(idx)
 	}
 	if after := n.MSE(X, y); after >= prev {
 		t.Errorf("full-batch SGD did not reduce loss: %v -> %v", prev, after)
+	}
+}
+
+// TestBatchLossSummedPreUpdate: runBatch's returned loss is the summed
+// squared error against the weights in effect at the start of the batch.
+func TestBatchLossSummedPreUpdate(t *testing.T) {
+	n, err := New(PaperConfig(2, 11))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	X := [][]float64{{1, 0}, {0, 1}, {0.5, -0.5}}
+	y := [][]float64{{1}, {-1}, {0.25}}
+	want := 0.0
+	for i := range X {
+		d := n.Predict1(X[i]) - y[i][0]
+		want += d * d
+	}
+	tr := batchTrainer(t, n, X, y, 0.01)
+	defer tr.stop()
+	got := tr.runBatch([]int{0, 1, 2})
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("batch loss %v, want pre-update %v", got, want)
 	}
 }

@@ -5,6 +5,16 @@
 //
 // Everything is from scratch on the standard library: dense layers,
 // ReLU/linear activations, backpropagation, and shuffled mini-batch SGD.
+//
+// The implementation is built for the Table 5 regime rather than for
+// generality: weights and activations live in flat row-major slices
+// (internal/tensor), all backprop scratch is allocated once per Train call
+// and reused across every sample, and minibatches can be sharded across a
+// worker pool (TrainOptions.Workers). Sharding is deterministic: each batch
+// is cut into fixed-size chunks, every chunk accumulates gradients into its
+// own partial buffers, and the partials are reduced in chunk-index order —
+// so trained weights are byte-identical at any worker count, the same
+// contract the experiments executor pins for mission runs.
 package neural
 
 import (
@@ -12,8 +22,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"github.com/routeplanning/mamorl/internal/limits"
+	"github.com/routeplanning/mamorl/internal/tensor"
 )
 
 // Activation selects a layer's nonlinearity.
@@ -80,9 +93,10 @@ func PaperConfig(inputs int, seed int64) Config {
 	}
 }
 
-// layer is a dense layer with weights [out][in] and biases [out].
+// layer is a dense layer with flat row-major weights (unit o's incoming
+// weights at w[o*in:(o+1)*in]) and biases [out].
 type layer struct {
-	w    [][]float64
+	w    []float64
 	b    []float64
 	act  Activation
 	in   int
@@ -94,6 +108,12 @@ type Network struct {
 	cfg    Config
 	layers []*layer
 	rng    *rand.Rand
+	// fwd pools inference scratch (two ping-pong activation buffers), so
+	// Predict1 allocates nothing in steady state and stays safe for
+	// concurrent use — parallel experiment runs share one trained Network
+	// across planner clones.
+	fwd      *sync.Pool
+	maxWidth int
 }
 
 // New builds a network with He-style initialization (appropriate for ReLU).
@@ -106,27 +126,30 @@ func New(cfg Config) (*Network, error) {
 	}
 	n := &Network{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 	in := cfg.Inputs
+	n.maxWidth = in
 	for _, spec := range cfg.Layers {
 		if spec.Units <= 0 {
 			return nil, fmt.Errorf("neural: layer with %d units", spec.Units)
 		}
 		l := &layer{
-			w:    make([][]float64, spec.Units),
+			w:    make([]float64, spec.Units*in),
 			b:    make([]float64, spec.Units),
 			act:  spec.Activation,
 			in:   in,
 			outs: spec.Units,
 		}
 		scale := math.Sqrt(2 / float64(in))
-		for o := range l.w {
-			l.w[o] = make([]float64, in)
-			for i := range l.w[o] {
-				l.w[o][i] = n.rng.NormFloat64() * scale
-			}
+		for i := range l.w {
+			l.w[i] = n.rng.NormFloat64() * scale
 		}
 		n.layers = append(n.layers, l)
 		in = spec.Units
+		n.maxWidth = max(n.maxWidth, spec.Units)
 	}
+	width := n.maxWidth
+	n.fwd = &sync.Pool{New: func() any {
+		return &fwdScratch{a: make([]float64, width), b: make([]float64, width)}
+	}}
 	return n, nil
 }
 
@@ -143,42 +166,58 @@ func (n *Network) NumParams() int {
 	return total
 }
 
-// forward runs the network, recording pre-activations and activations per
-// layer for backpropagation. acts[0] is the input itself.
-func (n *Network) forward(x []float64) (pres, acts [][]float64) {
-	acts = append(acts, x)
+// fwdScratch is a pooled pair of activation buffers for inference.
+type fwdScratch struct{ a, b []float64 }
+
+// forwardInto evaluates the network into the scratch buffers and returns
+// the output layer's activations (a view into s, valid until s is reused).
+func (n *Network) forwardInto(x []float64, s *fwdScratch) []float64 {
 	cur := x
+	bufA, bufB := s.a, s.b
 	for _, l := range n.layers {
-		pre := make([]float64, l.outs)
-		out := make([]float64, l.outs)
+		out := bufA[:l.outs]
 		for o := 0; o < l.outs; o++ {
-			s := l.b[o]
-			w := l.w[o]
+			w := l.w[o*l.in : (o+1)*l.in]
+			sum := l.b[o]
 			for i, v := range cur {
-				s += w[i] * v
+				sum += w[i] * v
 			}
-			pre[o] = s
-			out[o] = l.act.apply(s)
+			out[o] = l.act.apply(sum)
 		}
-		pres = append(pres, pre)
-		acts = append(acts, out)
 		cur = out
+		bufA, bufB = bufB, bufA
 	}
-	return pres, acts
+	return cur
 }
 
-// Predict evaluates the network; for single-output networks the first
-// element is the regression value.
-func (n *Network) Predict(x []float64) []float64 {
+func (n *Network) checkWidth(x []float64) {
 	if len(x) != n.cfg.Inputs {
 		panic(fmt.Sprintf("neural: predict with %d features on %d-input network", len(x), n.cfg.Inputs))
 	}
-	_, acts := n.forward(x)
-	return acts[len(acts)-1]
 }
 
-// Predict1 is Predict for single-output networks.
-func (n *Network) Predict1(x []float64) float64 { return n.Predict(x)[0] }
+// Predict evaluates the network; for single-output networks the first
+// element is the regression value. The returned slice is freshly allocated
+// and owned by the caller; use Predict1 on the hot path.
+func (n *Network) Predict(x []float64) []float64 {
+	n.checkWidth(x)
+	s := n.fwd.Get().(*fwdScratch)
+	out := n.forwardInto(x, s)
+	res := make([]float64, len(out))
+	copy(res, out)
+	n.fwd.Put(s)
+	return res
+}
+
+// Predict1 is Predict for single-output networks. It allocates nothing in
+// steady state (pooled scratch), making it safe on planner hot paths.
+func (n *Network) Predict1(x []float64) float64 {
+	n.checkWidth(x)
+	s := n.fwd.Get().(*fwdScratch)
+	v := n.forwardInto(x, s)[0]
+	n.fwd.Put(s)
+	return v
+}
 
 // TrainOptions configures SGD. Zero values select the paper's Table 5
 // settings (batch 1000, 10000 epochs) with a default learning rate.
@@ -186,13 +225,22 @@ type TrainOptions struct {
 	Epochs       int
 	BatchSize    int
 	LearningRate float64
-	// MaxEpochsNoImprove stops early when training MSE has not improved
-	// for this many epochs; 0 disables early stopping.
+	// MaxEpochsNoImprove stops early when the epoch's running training MSE
+	// — accumulated from the batch losses the SGD pass already computes, at
+	// no extra cost — has not improved for this many epochs; 0 disables
+	// early stopping.
 	MaxEpochsNoImprove int
+	// Workers shards each minibatch across this many goroutines. Results
+	// are byte-identical at any value: batches are cut into fixed-size
+	// chunks with per-chunk gradient partials reduced in chunk order, so
+	// Workers only changes wall time, never the trained weights. 0 or 1
+	// trains serially.
+	Workers int
 	// Budget, when non-nil, is charged the rows consumed per SGD batch
-	// (Samples) and the gradient workspace (Bytes); Train stops with a
-	// wrapped *limits.ErrOverBudget once it is exhausted. nil trains
-	// unlimited.
+	// (Samples) and the one-time training workspace (Bytes: the flat
+	// gradient partials, activation scratch, and shuffle order); Train
+	// stops with a wrapped *limits.ErrOverBudget once it is exhausted. nil
+	// trains unlimited.
 	Budget *limits.Budget
 }
 
@@ -202,6 +250,11 @@ const (
 	DefaultBatchSize    = 1000
 	DefaultLearningRate = 0.01
 )
+
+// trainChunkRows is the fixed shard width of the data-parallel SGD pass.
+// Chunk boundaries depend only on the batch — never on the worker count —
+// which is what makes the reduction deterministic.
+const trainChunkRows = 128
 
 func (o TrainOptions) withDefaults() TrainOptions {
 	if o.Epochs == 0 {
@@ -213,11 +266,15 @@ func (o TrainOptions) withDefaults() TrainOptions {
 	if o.LearningRate == 0 {
 		o.LearningRate = DefaultLearningRate
 	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
 	return o
 }
 
 // Train fits the network to (X, y) with mini-batch SGD on MSE and returns
-// the final training MSE.
+// the final training MSE. It copies the rows into flat matrices once; use
+// TrainMatrix to train on already-flat data without the copy.
 func (n *Network) Train(X [][]float64, y [][]float64, opts TrainOptions) (float64, error) {
 	if len(X) == 0 || len(X) != len(y) {
 		return 0, fmt.Errorf("neural: %d rows, %d targets", len(X), len(y))
@@ -230,33 +287,68 @@ func (n *Network) Train(X [][]float64, y [][]float64, opts TrainOptions) (float6
 			return 0, fmt.Errorf("neural: target %d has %d values, want %d", i, len(y[i]), n.Outputs())
 		}
 	}
+	Xm, err := tensor.FromRows(X)
+	if err != nil {
+		return 0, fmt.Errorf("neural: %w", err)
+	}
+	Ym, err := tensor.FromRows(y)
+	if err != nil {
+		return 0, fmt.Errorf("neural: %w", err)
+	}
+	return n.TrainMatrix(Xm, Ym, opts)
+}
+
+// TrainMatrix is Train over flat row-major matrices: X is rows×Inputs, Y is
+// rows×Outputs. The steady-state epoch loop performs no allocation — all
+// scratch lives in a workspace allocated (and budget-charged) once up
+// front.
+func (n *Network) TrainMatrix(X, Y *tensor.Matrix, opts TrainOptions) (float64, error) {
+	if X == nil || Y == nil || X.Rows() == 0 || X.Rows() != Y.Rows() {
+		xr, yr := 0, 0
+		if X != nil {
+			xr = X.Rows()
+		}
+		if Y != nil {
+			yr = Y.Rows()
+		}
+		return 0, fmt.Errorf("neural: %d rows, %d targets", xr, yr)
+	}
+	if X.Cols() != n.cfg.Inputs {
+		return 0, fmt.Errorf("neural: rows have %d features, want %d", X.Cols(), n.cfg.Inputs)
+	}
+	if Y.Cols() != n.Outputs() {
+		return 0, fmt.Errorf("neural: targets have %d values, want %d", Y.Cols(), n.Outputs())
+	}
 	opts = opts.withDefaults()
 
-	order := make([]int, len(X))
-	for i := range order {
-		order[i] = i
-	}
-	// The per-batch gradient accumulators are the training loop's dominant
-	// allocation; charge them once up front.
-	if err := opts.Budget.Charge(limits.Bytes, int64(n.NumParams())*8); err != nil {
+	t := newTrainer(n, X, Y, opts)
+	defer t.stop()
+	// Charge the full one-time workspace: per-chunk gradient partials,
+	// per-worker activation scratch, and the shuffle order. (This used to
+	// charge NumParams()*8, which understated the real footprint.)
+	if err := opts.Budget.Charge(limits.Bytes, t.workspaceBytes()); err != nil {
 		return 0, fmt.Errorf("neural: training over budget: %w", err)
 	}
+	rows := X.Rows()
+	samples := float64(rows * n.Outputs())
 	bestMSE := math.Inf(1)
 	stall := 0
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
-		n.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for start := 0; start < len(order); start += opts.BatchSize {
-			end := start + opts.BatchSize
-			if end > len(order) {
-				end = len(order)
-			}
+		n.rng.Shuffle(rows, func(i, j int) { t.order[i], t.order[j] = t.order[j], t.order[i] })
+		epochLoss := 0.0
+		for start := 0; start < rows; start += opts.BatchSize {
+			end := min(start+opts.BatchSize, rows)
 			if err := opts.Budget.Charge(limits.Samples, int64(end-start)); err != nil {
-				return n.MSE(X, y), fmt.Errorf("neural: training over budget at epoch %d: %w", epoch, err)
+				return n.MSEMatrix(X, Y), fmt.Errorf("neural: training over budget at epoch %d: %w", epoch, err)
 			}
-			n.sgdBatch(X, y, order[start:end], opts.LearningRate)
+			epochLoss += t.runBatch(t.order[start:end])
 		}
 		if opts.MaxEpochsNoImprove > 0 {
-			mse := n.MSE(X, y)
+			// The epoch's running MSE over the batch losses the SGD pass
+			// already computed (each batch's loss uses the weights it
+			// trained from, standard running-loss early stopping) — no
+			// extra O(N·params) evaluation pass per epoch.
+			mse := epochLoss / samples
 			if mse < bestMSE-1e-12 {
 				bestMSE = mse
 				stall = 0
@@ -265,60 +357,250 @@ func (n *Network) Train(X [][]float64, y [][]float64, opts TrainOptions) (float6
 			}
 		}
 	}
-	return n.MSE(X, y), nil
+	return n.MSEMatrix(X, Y), nil
 }
 
-// sgdBatch accumulates gradients over the batch and applies one update.
-func (n *Network) sgdBatch(X [][]float64, y [][]float64, batch []int, lr float64) {
-	gradW := make([][][]float64, len(n.layers))
-	gradB := make([][]float64, len(n.layers))
-	for li, l := range n.layers {
-		gradW[li] = make([][]float64, l.outs)
-		for o := range gradW[li] {
-			gradW[li][o] = make([]float64, l.in)
+// trainWS is one worker's per-sample backprop scratch: per-layer
+// pre-activations and activations, plus the two delta buffers.
+type trainWS struct {
+	pres  [][]float64
+	acts  [][]float64
+	delta []float64
+	dprev []float64
+}
+
+// chunkGrad accumulates one chunk's gradient contribution (flat, matching
+// the layer layout) and its summed squared error.
+type chunkGrad struct {
+	w    [][]float64
+	b    [][]float64
+	loss float64
+}
+
+func (cg *chunkGrad) reset() {
+	for li := range cg.w {
+		clear(cg.w[li])
+		clear(cg.b[li])
+	}
+	cg.loss = 0
+}
+
+// trainer owns all SGD state for one Train call: the shuffle order, the
+// per-chunk gradient partials, the per-worker workspaces, and (when
+// Workers > 1) a persistent worker pool released once per batch.
+type trainer struct {
+	n       *Network
+	X, Y    *tensor.Matrix
+	lr      float64
+	workers int
+	order   []int
+	chunks  []*chunkGrad
+	ws      []*trainWS
+
+	// Per-batch dispatch state for the worker pool.
+	batch   []int
+	nchunks int
+	next    atomic.Int64
+	start   []chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newTrainer(n *Network, X, Y *tensor.Matrix, opts TrainOptions) *trainer {
+	rows := X.Rows()
+	maxChunks := (min(opts.BatchSize, rows) + trainChunkRows - 1) / trainChunkRows
+	t := &trainer{
+		n:       n,
+		X:       X,
+		Y:       Y,
+		lr:      opts.LearningRate,
+		workers: min(opts.Workers, maxChunks),
+		order:   make([]int, rows),
+	}
+	for i := range t.order {
+		t.order[i] = i
+	}
+	t.chunks = make([]*chunkGrad, maxChunks)
+	for c := range t.chunks {
+		cg := &chunkGrad{w: make([][]float64, len(n.layers)), b: make([][]float64, len(n.layers))}
+		for li, l := range n.layers {
+			cg.w[li] = make([]float64, l.outs*l.in)
+			cg.b[li] = make([]float64, l.outs)
 		}
-		gradB[li] = make([]float64, l.outs)
+		t.chunks[c] = cg
+	}
+	t.ws = make([]*trainWS, t.workers)
+	for w := range t.ws {
+		ws := &trainWS{
+			pres:  make([][]float64, len(n.layers)),
+			acts:  make([][]float64, len(n.layers)),
+			delta: make([]float64, n.maxWidth),
+			dprev: make([]float64, n.maxWidth),
+		}
+		for li, l := range n.layers {
+			ws.pres[li] = make([]float64, l.outs)
+			ws.acts[li] = make([]float64, l.outs)
+		}
+		t.ws[w] = ws
+	}
+	if t.workers > 1 {
+		t.start = make([]chan struct{}, t.workers)
+		for w := range t.start {
+			t.start[w] = make(chan struct{})
+			go t.worker(w)
+		}
+	}
+	return t
+}
+
+// workspaceBytes reports the trainer's real one-time allocation footprint.
+func (t *trainer) workspaceBytes() int64 {
+	floats := 0
+	params := t.n.NumParams()
+	floats += len(t.chunks) * params
+	for _, ws := range t.ws {
+		floats += 2 * len(ws.delta)
+		for li := range ws.pres {
+			floats += 2 * len(ws.pres[li])
+		}
+	}
+	return int64(floats)*8 + int64(len(t.order))*8
+}
+
+// stop shuts down the worker pool (a no-op for serial trainers).
+func (t *trainer) stop() {
+	for _, ch := range t.start {
+		close(ch)
+	}
+}
+
+// worker is the body of one pool goroutine: on each release it drains chunk
+// indices from the shared atomic cursor, then checks in.
+func (t *trainer) worker(w int) {
+	ws := t.ws[w]
+	for range t.start[w] {
+		for {
+			c := int(t.next.Add(1)) - 1
+			if c >= t.nchunks {
+				break
+			}
+			t.processChunk(c, ws)
+		}
+		t.wg.Done()
+	}
+}
+
+// runBatch accumulates gradients over the batch — serially or sharded
+// across the pool — reduces the per-chunk partials in chunk-index order,
+// applies one SGD update, and returns the batch's summed squared error
+// (computed against the pre-update weights).
+func (t *trainer) runBatch(batch []int) float64 {
+	t.batch = batch
+	t.nchunks = (len(batch) + trainChunkRows - 1) / trainChunkRows
+	for c := 0; c < t.nchunks; c++ {
+		t.chunks[c].reset()
+	}
+	if t.workers <= 1 || t.nchunks == 1 {
+		for c := 0; c < t.nchunks; c++ {
+			t.processChunk(c, t.ws[0])
+		}
+	} else {
+		t.next.Store(0)
+		t.wg.Add(len(t.start))
+		for _, ch := range t.start {
+			ch <- struct{}{}
+		}
+		t.wg.Wait()
 	}
 
-	for _, idx := range batch {
-		pres, acts := n.forward(X[idx])
-		// Output delta: dMSE/dpre = (pred - target) * act'.
-		last := len(n.layers) - 1
-		delta := make([]float64, n.layers[last].outs)
-		for o := range delta {
-			delta[o] = (acts[last+1][o] - y[idx][o]) * n.layers[last].act.derivative(pres[last][o])
+	// Deterministic reduction: every parameter sums its per-chunk partials
+	// in chunk-index order, regardless of which worker produced them.
+	scale := t.lr / float64(len(batch))
+	for li, l := range t.n.layers {
+		for k := range l.w {
+			g := 0.0
+			for c := 0; c < t.nchunks; c++ {
+				g += t.chunks[c].w[li][k]
+			}
+			l.w[k] -= scale * g
 		}
-		for li := last; li >= 0; li-- {
-			l := n.layers[li]
-			in := acts[li]
-			for o := 0; o < l.outs; o++ {
-				gradB[li][o] += delta[o]
-				gw := gradW[li][o]
-				for i, v := range in {
-					gw[i] += delta[o] * v
-				}
+		for o := range l.b {
+			g := 0.0
+			for c := 0; c < t.nchunks; c++ {
+				g += t.chunks[c].b[li][o]
 			}
-			if li > 0 {
-				prev := make([]float64, l.in)
-				for i := 0; i < l.in; i++ {
-					s := 0.0
-					for o := 0; o < l.outs; o++ {
-						s += l.w[o][i] * delta[o]
-					}
-					prev[i] = s * n.layers[li-1].act.derivative(pres[li-1][i])
-				}
-				delta = prev
-			}
+			l.b[o] -= scale * g
 		}
 	}
+	loss := 0.0
+	for c := 0; c < t.nchunks; c++ {
+		loss += t.chunks[c].loss
+	}
+	return loss
+}
 
-	scale := lr / float64(len(batch))
+// processChunk runs forward+backward over one chunk's samples, accumulating
+// into that chunk's gradient partials.
+func (t *trainer) processChunk(c int, ws *trainWS) {
+	cg := t.chunks[c]
+	lo := c * trainChunkRows
+	hi := min(lo+trainChunkRows, len(t.batch))
+	for _, idx := range t.batch[lo:hi] {
+		t.backprop(t.X.Row(idx), t.Y.Row(idx), ws, cg)
+	}
+}
+
+// backprop accumulates one sample's gradient (of 0.5·Σ(pred-y)²) into cg.
+func (t *trainer) backprop(x, y []float64, ws *trainWS, cg *chunkGrad) {
+	n := t.n
+	cur := x
 	for li, l := range n.layers {
+		pres, acts := ws.pres[li], ws.acts[li]
 		for o := 0; o < l.outs; o++ {
-			l.b[o] -= scale * gradB[li][o]
-			for i := range l.w[o] {
-				l.w[o][i] -= scale * gradW[li][o][i]
+			w := l.w[o*l.in : (o+1)*l.in]
+			sum := l.b[o]
+			for i, v := range cur {
+				sum += w[i] * v
 			}
+			pres[o] = sum
+			acts[o] = l.act.apply(sum)
+		}
+		cur = acts
+	}
+
+	last := len(n.layers) - 1
+	delta := ws.delta[:n.layers[last].outs]
+	for o := range delta {
+		d := ws.acts[last][o] - y[o]
+		cg.loss += d * d
+		delta[o] = d * n.layers[last].act.derivative(ws.pres[last][o])
+	}
+	for li := last; li >= 0; li-- {
+		l := n.layers[li]
+		in := x
+		if li > 0 {
+			in = ws.acts[li-1]
+		}
+		gw, gb := cg.w[li], cg.b[li]
+		for o := 0; o < l.outs; o++ {
+			d := delta[o]
+			gb[o] += d
+			row := gw[o*l.in : (o+1)*l.in]
+			for i, v := range in {
+				row[i] += d * v
+			}
+		}
+		if li > 0 {
+			prevLayer := n.layers[li-1]
+			prev := ws.dprev[:l.in]
+			for i := 0; i < l.in; i++ {
+				s := 0.0
+				for o := 0; o < l.outs; o++ {
+					s += l.w[o*l.in+i] * delta[o]
+				}
+				prev[i] = s * prevLayer.act.derivative(ws.pres[li-1][i])
+			}
+			ws.delta, ws.dprev = ws.dprev, ws.delta
+			delta = prev
 		}
 	}
 }
@@ -329,15 +611,38 @@ func (n *Network) MSE(X [][]float64, y [][]float64) float64 {
 	if len(X) == 0 {
 		return 0
 	}
-	s := 0.0
+	s := n.fwd.Get().(*fwdScratch)
+	defer n.fwd.Put(s)
+	sum := 0.0
 	count := 0
 	for i := range X {
-		out := n.Predict(X[i])
+		out := n.forwardInto(X[i], s)
 		for o := range out {
 			d := out[o] - y[i][o]
-			s += d * d
+			sum += d * d
 			count++
 		}
 	}
-	return s / float64(count)
+	return sum / float64(count)
+}
+
+// MSEMatrix is MSE over flat matrices.
+func (n *Network) MSEMatrix(X, Y *tensor.Matrix) float64 {
+	if X == nil || X.Rows() == 0 {
+		return 0
+	}
+	s := n.fwd.Get().(*fwdScratch)
+	defer n.fwd.Put(s)
+	sum := 0.0
+	count := 0
+	for i := 0; i < X.Rows(); i++ {
+		out := n.forwardInto(X.Row(i), s)
+		yr := Y.Row(i)
+		for o := range out {
+			d := out[o] - yr[o]
+			sum += d * d
+			count++
+		}
+	}
+	return sum / float64(count)
 }

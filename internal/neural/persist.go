@@ -9,7 +9,9 @@ import (
 // Persistence: a trained network's weights serialize with gob, so
 // NN-Approx-MaMoRL models deploy the same way the linear ones do.
 
-// netFile is the serialized form.
+// netFile is the serialized form. W stays [][]float64 on the wire even
+// though the in-memory layer is flat — the on-disk format (and therefore
+// every registry blob and content-addressed artifact ID) is unchanged.
 type netFile struct {
 	Version int
 	Inputs  int
@@ -28,7 +30,11 @@ const netFileVersion = 1
 func (n *Network) Save(w io.Writer) error {
 	nf := netFile{Version: netFileVersion, Inputs: n.cfg.Inputs}
 	for _, l := range n.layers {
-		nf.Layers = append(nf.Layers, layerFile{W: l.w, B: l.b, Act: int(l.act)})
+		rows := make([][]float64, l.outs)
+		for o := 0; o < l.outs; o++ {
+			rows[o] = l.w[o*l.in : (o+1)*l.in : (o+1)*l.in]
+		}
+		nf.Layers = append(nf.Layers, layerFile{W: rows, B: l.b, Act: int(l.act)})
 	}
 	return gob.NewEncoder(w).Encode(nf)
 }
@@ -64,8 +70,11 @@ func Load(r io.Reader) (*Network, error) {
 		return nil, err
 	}
 	for i, lf := range nf.Layers {
-		n.layers[i].w = lf.W
-		n.layers[i].b = lf.B
+		l := n.layers[i]
+		for o, row := range lf.W {
+			copy(l.w[o*l.in:(o+1)*l.in], row)
+		}
+		copy(l.b, lf.B)
 	}
 	return n, nil
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package neural
+
+// raceEnabled mirrors the race detector build tag: the detector makes
+// sync.Pool randomly bypass its cache, which perturbs the allocation counts
+// the alloc regression tests pin.
+const raceEnabled = true

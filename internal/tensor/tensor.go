@@ -1,0 +1,108 @@
+// Package tensor provides the flat, row-major float64 matrix backing the
+// training stack. Training used to shuttle [][]float64 around — one heap
+// object per sample row — which put the Table 5 regime (batch 1000, 10000
+// epochs) at ~50M allocations per fit. A Matrix keeps every row in one
+// backing array with a fixed stride, so sample collection grows a single
+// slice, trainers iterate with zero indirection, and row views remain cheap
+// []float64 windows for code that still wants per-row slices.
+package tensor
+
+import "fmt"
+
+// Matrix is a dense row-major matrix over one flat backing slice. The zero
+// value is unusable; construct with NewMatrix, FromRows, or FromSlice.
+type Matrix struct {
+	data []float64
+	rows int
+	cols int
+}
+
+// NewMatrix returns an empty matrix with the given row width.
+func NewMatrix(cols int) *Matrix {
+	if cols <= 0 {
+		panic(fmt.Sprintf("tensor: %d columns", cols))
+	}
+	return &Matrix{cols: cols}
+}
+
+// FromRows copies a [][]float64 into a flat matrix. Every row must have the
+// same width.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("tensor: no rows")
+	}
+	cols := len(rows[0])
+	if cols == 0 {
+		return nil, fmt.Errorf("tensor: empty rows")
+	}
+	m := &Matrix{data: make([]float64, 0, len(rows)*cols), cols: cols}
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("tensor: row %d has %d values, want %d", i, len(r), cols)
+		}
+		m.data = append(m.data, r...)
+		m.rows++
+	}
+	return m, nil
+}
+
+// FromSlice wraps an existing flat slice as a matrix view without copying.
+// len(data) must be a multiple of cols. The matrix aliases data; callers
+// must not AppendRow to a view over storage they do not own.
+func FromSlice(data []float64, cols int) (*Matrix, error) {
+	if cols <= 0 {
+		return nil, fmt.Errorf("tensor: %d columns", cols)
+	}
+	if len(data)%cols != 0 {
+		return nil, fmt.Errorf("tensor: %d values do not tile %d columns", len(data), cols)
+	}
+	return &Matrix{data: data, rows: len(data) / cols, cols: cols}, nil
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the row width.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Data exposes the flat backing slice (row-major, rows*cols values).
+func (m *Matrix) Data() []float64 { return m.data[:m.rows*m.cols] }
+
+// Row returns row i as a view into the backing array. The view is
+// invalidated by a subsequent AppendRow that grows the backing array.
+func (m *Matrix) Row(i int) []float64 {
+	off := i * m.cols
+	return m.data[off : off+m.cols : off+m.cols]
+}
+
+// AppendRow copies one row onto the end of the matrix, growing the backing
+// array geometrically like append.
+func (m *Matrix) AppendRow(row []float64) {
+	if len(row) != m.cols {
+		panic(fmt.Sprintf("tensor: append %d values to a %d-column matrix", len(row), m.cols))
+	}
+	m.data = append(m.data, row...)
+	m.rows++
+}
+
+// Reserve grows the backing array to hold at least n rows without further
+// reallocation.
+func (m *Matrix) Reserve(n int) {
+	if need := n * m.cols; cap(m.data) < need {
+		grown := make([]float64, len(m.data), need)
+		copy(grown, m.data)
+		m.data = grown
+	}
+}
+
+// RowViews materializes a [][]float64 of row views sharing the backing
+// array: one slice-header allocation, no element copies. Compatibility
+// bridge for consumers that still iterate rows as slices; take it after the
+// matrix has stopped growing.
+func (m *Matrix) RowViews() [][]float64 {
+	views := make([][]float64, m.rows)
+	for i := range views {
+		views[i] = m.Row(i)
+	}
+	return views
+}

@@ -1,0 +1,102 @@
+package tensor
+
+import (
+	"testing"
+)
+
+func TestAppendRowAndViews(t *testing.T) {
+	m := NewMatrix(3)
+	m.AppendRow([]float64{1, 2, 3})
+	m.AppendRow([]float64{4, 5, 6})
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	if got := m.Row(1); got[0] != 4 || got[2] != 6 {
+		t.Fatalf("Row(1) = %v", got)
+	}
+	views := m.RowViews()
+	if len(views) != 2 {
+		t.Fatalf("%d views", len(views))
+	}
+	// Views alias the backing array.
+	views[0][1] = 42
+	if m.Data()[1] != 42 {
+		t.Fatal("row view does not alias backing array")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 2 || m.Data()[5] != 6 {
+		t.Fatalf("bad matrix: %dx%d %v", m.Rows(), m.Cols(), m.Data())
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty rows accepted")
+	}
+	if _, err := FromRows([][]float64{{}}); err == nil {
+		t.Error("zero-width rows accepted")
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m, err := FromSlice(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Row(2)[1] != 6 {
+		t.Fatalf("bad view: %dx%d", m.Rows(), m.Cols())
+	}
+	// No copy: mutations flow through.
+	data[0] = 9
+	if m.Row(0)[0] != 9 {
+		t.Error("FromSlice copied")
+	}
+	if _, err := FromSlice(data, 4); err == nil {
+		t.Error("non-tiling width accepted")
+	}
+	if _, err := FromSlice(data, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestReserveKeepsAppendsAllocationFree(t *testing.T) {
+	m := NewMatrix(4)
+	m.Reserve(100)
+	row := []float64{1, 2, 3, 4}
+	avg := testing.AllocsPerRun(50, func() {
+		if m.Rows() == 100 {
+			return
+		}
+		m.AppendRow(row)
+	})
+	if avg != 0 {
+		t.Fatalf("AppendRow within reserved capacity allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func TestRowViewCapIsClamped(t *testing.T) {
+	m := NewMatrix(2)
+	m.Reserve(4)
+	m.AppendRow([]float64{1, 2})
+	m.AppendRow([]float64{3, 4})
+	r := m.Row(0)
+	if cap(r) != 2 {
+		t.Fatalf("row view cap %d leaks into the next row, want 2", cap(r))
+	}
+}
+
+func TestAppendRowPanicsOnWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMatrix(2).AppendRow([]float64{1})
+}

@@ -79,6 +79,11 @@ type Options struct {
 	// artifact instead of retraining, and registers a freshly trained
 	// model back into the store on a miss.
 	ModelDir string
+	// TrainWorkers shards the train-on-miss model fit across this many
+	// goroutines. Fitted weights — and therefore registry artifact IDs —
+	// are byte-identical at any value; it only shrinks cold-start latency.
+	// <= 1 fits serially.
+	TrainWorkers int
 	// JobWorkers and JobQueueDepth size the async planning job queue
 	// behind /api/jobs; <= 0 selects the jobs package defaults.
 	JobWorkers    int
@@ -247,12 +252,12 @@ func loadOrTrainModel(seed int64, opts Options, tracer *trace.Tracer) (*approx.L
 		}
 	}
 
-	cfg := approx.TrainConfig{Seed: seed, Tracer: tracer}
+	cfg := approx.TrainConfig{Seed: seed, Tracer: tracer, FitWorkers: opts.TrainWorkers, Metrics: opts.Metrics}
 	pipe, err := approx.NewPipeline(cfg)
 	if err != nil {
 		return nil, features.Extractor{}, "", "", fmt.Errorf("tmplar: training pipeline: %w", err)
 	}
-	model, _, err := approx.FitLinear(pipe.Data)
+	model, _, err := approx.FitLinearOpts(pipe.Data, nil, opts.TrainWorkers)
 	if err != nil {
 		return nil, features.Extractor{}, "", "", fmt.Errorf("tmplar: model fit: %w", err)
 	}
@@ -316,6 +321,7 @@ func registerHelp(m *obs.Registry) {
 		"trace_spans_total":                   "Spans completed by the request tracer, by span name.",
 		"limits_charged_total":                "Budget units charged by planning requests, by resource.",
 		"limits_exhausted_total":              "Planning requests aborted over budget, by resource.",
+		"samples_skipped_total":               "Degenerate training samples dropped during collection.",
 	} {
 		m.SetHelp(name, help)
 	}

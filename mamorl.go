@@ -212,7 +212,7 @@ func Train(cfg TrainConfig) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	lin, _, err := approx.FitLinear(pipe.Data)
+	lin, _, err := approx.FitLinearOpts(pipe.Data, nil, cfg.FitWorkers)
 	if err != nil {
 		return nil, err
 	}

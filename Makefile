@@ -5,7 +5,7 @@ BENCH_OLD ?= BENCH_5.json
 BENCH_NEW ?= $(BENCH_OUT)
 BENCH_THRESHOLD ?= 15
 
-.PHONY: build vet fmt-check test race race-exec check bench bench-compare
+.PHONY: build vet fmt-check test race race-exec loadgen-smoke check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -25,15 +25,20 @@ race:
 
 # race-exec focuses the detector on the parallel experiment executor, the
 # simulator it fans out over, the lock-free trace ring they emit into, the
-# metrics sampler/SSE fan-out, the async job queue, the resource-budget
-# accounting, the model registry, and the data-parallel training stack
-# (neural/linreg worker pools, flat sample tensors) — the packages with
-# real concurrency.
+# metrics sampler/SSE fan-out, the SLO burn-rate engine, the async job
+# queue, the resource-budget accounting, the model registry, and the
+# data-parallel training stack (neural/linreg worker pools, flat sample
+# tensors) — the packages with real concurrency.
 race-exec:
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/... ./internal/obs/... ./internal/jobs/... ./internal/limits/... ./internal/registry/... ./internal/neural/... ./internal/linreg/... ./internal/approx/... ./internal/tensor/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/... ./internal/obs/... ./internal/slo/... ./internal/jobs/... ./internal/limits/... ./internal/registry/... ./internal/neural/... ./internal/linreg/... ./internal/approx/... ./internal/tensor/...
+
+# loadgen-smoke drives a short open-loop run (2s at 20 rps) against an
+# in-process tmplard and fails if any default SLO breaches.
+loadgen-smoke:
+	$(GO) test ./cmd/loadgen/ -run 'TestSmoke|TestFailsOnInducedBreach' -v
 
 # check is what CI runs (.github/workflows/ci.yml).
-check: build vet fmt-check test race
+check: build vet fmt-check test race loadgen-smoke
 
 # bench runs the full suite and writes a machine-readable report (ns/op,
 # B/op, allocs/op and every custom metric) to $(BENCH_OUT).

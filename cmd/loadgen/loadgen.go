@@ -1,0 +1,599 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/routeplanning/mamorl/internal/slo"
+)
+
+// --- Wire types --------------------------------------------------------------
+//
+// loadgen is a client: it speaks tmplard's JSON wire format but deliberately
+// does not import the server package. These mirrors are the contract an
+// external front-end would code against.
+
+type assetSpec struct {
+	Source        int32   `json:"source"`
+	SensingRadius float64 `json:"sensing_radius"`
+	MaxSpeed      int     `json:"max_speed"`
+}
+
+type planRequest struct {
+	Grid        string      `json:"grid"`
+	Assets      []assetSpec `json:"assets"`
+	Destination int32       `json:"destination"`
+	Seed        int64       `json:"seed"`
+	MaxSteps    int         `json:"max_steps,omitempty"`
+	DeadlineMS  int64       `json:"deadline_ms,omitempty"`
+}
+
+type jobView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+type gridInfo struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+}
+
+// --- Configuration -----------------------------------------------------------
+
+// Config describes one load run. Zero values select production defaults.
+type Config struct {
+	// Target is the base URL of the tmplard instance under test.
+	Target string
+	// Duration is how long to offer load; RPS the open-loop request rate.
+	Duration time.Duration
+	RPS      float64
+	// Concurrency bounds in-flight requests. A scheduled request that finds
+	// every slot busy is shed and counted, never queued — offered load stays
+	// open-loop.
+	Concurrency int
+	// Grid names the grid every mission plans on; it must exist on the
+	// server (loadgen resolves its node count from GET /api/grids).
+	Grid string
+	// AssetCounts is the per-request rotation of team sizes; sources are
+	// spread evenly across the grid's node range.
+	AssetCounts []int
+	// Destination is the target node; negative derives one near the far end
+	// of the node range.
+	Destination int
+	// DeadlineMS and MaxSteps cap each mission like the wire fields they
+	// feed; zero leaves the server defaults in charge.
+	DeadlineMS int64
+	MaxSteps   int
+	// JobsRatio is the fraction of requests submitted through the async
+	// job plane (POST /api/jobs/plan + polling) instead of POST /api/plan.
+	JobsRatio float64
+	// Seed varies per request (Seed+i) so missions differ deterministically.
+	Seed int64
+	// PollInterval is the async-job polling cadence; PollGrace bounds how
+	// long after the load window in-flight work may finish.
+	PollInterval time.Duration
+	PollGrace    time.Duration
+	// Settle is the pause between end-of-load and the final SLO scrape, so
+	// the server's sampler can run at least one evaluation over the traffic.
+	Settle time.Duration
+	// FailOn is the SLO state that fails the run: "breach" (default) or
+	// "warn".
+	FailOn string
+	// SLOs are the objectives the run is judged against, matched by name
+	// against the server's /debug/slo report. Nil selects slo.Defaults();
+	// an empty non-nil slice disables SLO verdicts.
+	SLOs []slo.Spec
+
+	Client *http.Client
+	Logf   func(format string, args ...any)
+}
+
+func (cfg *Config) normalize() error {
+	cfg.Target = strings.TrimSuffix(cfg.Target, "/")
+	if cfg.Target == "" {
+		return fmt.Errorf("target URL required")
+	}
+	if cfg.Grid == "" {
+		return fmt.Errorf("grid name required")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.RPS <= 0 {
+		cfg.RPS = 50
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 64
+	}
+	if len(cfg.AssetCounts) == 0 {
+		cfg.AssetCounts = []int{2}
+	}
+	for _, n := range cfg.AssetCounts {
+		if n <= 0 {
+			return fmt.Errorf("asset counts must be positive, got %v", cfg.AssetCounts)
+		}
+	}
+	if cfg.JobsRatio < 0 || cfg.JobsRatio > 1 {
+		return fmt.Errorf("jobs ratio %v outside [0,1]", cfg.JobsRatio)
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 50 * time.Millisecond
+	}
+	if cfg.PollGrace <= 0 {
+		cfg.PollGrace = 10 * time.Second
+	}
+	switch cfg.FailOn {
+	case "":
+		cfg.FailOn = "breach"
+	case "warn", "breach":
+	default:
+		return fmt.Errorf("fail-on must be warn or breach, got %q", cfg.FailOn)
+	}
+	if cfg.SLOs == nil {
+		cfg.SLOs = slo.Defaults()
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// request builds the i-th mission deterministically: team size rotates
+// through AssetCounts, sources spread across the node range, and the seed
+// advances so no two missions are identical.
+func (cfg *Config) request(i, nodes, dest int) planRequest {
+	n := cfg.AssetCounts[i%len(cfg.AssetCounts)]
+	assets := make([]assetSpec, n)
+	for j := range assets {
+		assets[j] = assetSpec{
+			Source:        int32(j * nodes / (n + 1)),
+			SensingRadius: 10,
+			MaxSpeed:      3,
+		}
+	}
+	return planRequest{
+		Grid:        cfg.Grid,
+		Assets:      assets,
+		Destination: int32(dest),
+		Seed:        cfg.Seed + int64(i),
+		MaxSteps:    cfg.MaxSteps,
+		DeadlineMS:  cfg.DeadlineMS,
+	}
+}
+
+// mixer deterministically spreads a fraction across a request sequence:
+// with ratio 0.25 every fourth next() is true, with no randomness to make
+// two runs differ.
+type mixer struct {
+	ratio float64
+	acc   float64
+}
+
+func (m *mixer) next() bool {
+	m.acc += m.ratio
+	if m.acc >= 1 {
+		m.acc--
+		return true
+	}
+	return false
+}
+
+// --- Result accounting -------------------------------------------------------
+
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeErr
+	outcomeThrottled
+)
+
+type recorder struct {
+	mu        sync.Mutex
+	latencies []float64
+	status    map[string]int
+	ok        int
+	errs      int
+	throttled int
+}
+
+func newRecorder() *recorder {
+	return &recorder{status: make(map[string]int)}
+}
+
+func (r *recorder) record(seconds float64, label string, oc outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.latencies = append(r.latencies, seconds)
+	r.status[label]++
+	switch oc {
+	case outcomeOK:
+		r.ok++
+	case outcomeThrottled:
+		r.throttled++
+	default:
+		r.errs++
+	}
+}
+
+// percentile is nearest-rank over an ascending-sorted slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// --- Report ------------------------------------------------------------------
+
+// Verdict is one SLO judged against the server's report.
+type Verdict struct {
+	Name           string  `json:"name"`
+	State          string  `json:"state"`
+	BudgetConsumed float64 `json:"budget_consumed"`
+	Pass           bool    `json:"pass"`
+	Detail         string  `json:"detail,omitempty"`
+}
+
+// Report is the compliance report a run ends with.
+type Report struct {
+	Target          string            `json:"target"`
+	DurationSeconds float64           `json:"duration_seconds"`
+	TargetRPS       float64           `json:"target_rps"`
+	AchievedRPS     float64           `json:"achieved_rps"`
+	Sent            int               `json:"sent"`
+	Shed            int               `json:"shed"`
+	Completed       int               `json:"completed"`
+	OK              int               `json:"ok"`
+	Errors          int               `json:"errors"`
+	Throttled       int               `json:"throttled"`
+	Status          map[string]int    `json:"status_counts"`
+	LatencyP50      float64           `json:"latency_p50_seconds"`
+	LatencyP90      float64           `json:"latency_p90_seconds"`
+	LatencyP99      float64           `json:"latency_p99_seconds"`
+	ServerRequests  map[string]uint64 `json:"server_requests_by_route,omitempty"`
+	SLOs            []slo.Status      `json:"slos"`
+	Verdicts        []Verdict         `json:"verdicts"`
+	Pass            bool              `json:"pass"`
+	Reasons         []string          `json:"reasons,omitempty"`
+}
+
+// --- HTTP plumbing -----------------------------------------------------------
+
+func (cfg *Config) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", cfg.Target+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %d %s", path, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (cfg *Config) gridNodes(ctx context.Context) (int, error) {
+	var infos []gridInfo
+	if err := cfg.getJSON(ctx, "/api/grids", &infos); err != nil {
+		return 0, fmt.Errorf("list grids: %w", err)
+	}
+	names := make([]string, 0, len(infos))
+	for _, gi := range infos {
+		if gi.Name == cfg.Grid {
+			return gi.Nodes, nil
+		}
+		names = append(names, gi.Name)
+	}
+	return 0, fmt.Errorf("grid %q not on server (has %v)", cfg.Grid, names)
+}
+
+func (cfg *Config) post(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", cfg.Target+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, err
+}
+
+// fireSync issues one synchronous plan and records its client-observed
+// latency and outcome.
+func (cfg *Config) fireSync(ctx context.Context, pr planRequest, rec *recorder) {
+	body, _ := json.Marshal(pr)
+	start := time.Now()
+	code, _, err := cfg.post(ctx, "/api/plan", body)
+	elapsed := time.Since(start).Seconds()
+	switch {
+	case err != nil:
+		rec.record(elapsed, "transport_error", outcomeErr)
+	case code == http.StatusTooManyRequests:
+		rec.record(elapsed, "429", outcomeThrottled)
+	case code >= 200 && code < 300:
+		rec.record(elapsed, strconv.Itoa(code), outcomeOK)
+	default:
+		rec.record(elapsed, strconv.Itoa(code), outcomeErr)
+	}
+}
+
+// fireJob submits through the async plane and polls the job to a terminal
+// state; latency is submit-to-settled wall time, the shape a mission
+// console experiences.
+func (cfg *Config) fireJob(ctx context.Context, pr planRequest, rec *recorder) {
+	body, _ := json.Marshal(pr)
+	start := time.Now()
+	code, resp, err := cfg.post(ctx, "/api/jobs/plan", body)
+	switch {
+	case err != nil:
+		rec.record(time.Since(start).Seconds(), "transport_error", outcomeErr)
+		return
+	case code == http.StatusTooManyRequests:
+		rec.record(time.Since(start).Seconds(), "429", outcomeThrottled)
+		return
+	case code != http.StatusAccepted:
+		rec.record(time.Since(start).Seconds(), strconv.Itoa(code), outcomeErr)
+		return
+	}
+	var v jobView
+	if err := json.Unmarshal(resp, &v); err != nil || v.ID == "" {
+		rec.record(time.Since(start).Seconds(), "job:bad_submit", outcomeErr)
+		return
+	}
+	t := time.NewTicker(cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			rec.record(time.Since(start).Seconds(), "job:timeout", outcomeErr)
+			return
+		case <-t.C:
+		}
+		var cur jobView
+		if err := cfg.getJSON(ctx, "/api/jobs/"+v.ID, &cur); err != nil {
+			// A 429 job view still decodes below; any other failure here is
+			// a lost job.
+			if ctx.Err() != nil {
+				rec.record(time.Since(start).Seconds(), "job:timeout", outcomeErr)
+			} else {
+				rec.record(time.Since(start).Seconds(), "job:poll_error", outcomeErr)
+			}
+			return
+		}
+		switch cur.State {
+		case "done":
+			rec.record(time.Since(start).Seconds(), "job:done", outcomeOK)
+			return
+		case "failed", "canceled":
+			rec.record(time.Since(start).Seconds(), "job:"+cur.State, outcomeErr)
+			return
+		}
+	}
+}
+
+// scrapeServerRequests folds /metrics?format=json into per-route request
+// totals — the server-side view the client counts are reconciled against.
+func (cfg *Config) scrapeServerRequests(ctx context.Context) map[string]uint64 {
+	var snap struct {
+		Counters []struct {
+			Name   string            `json:"name"`
+			Value  uint64            `json:"value"`
+			Labels map[string]string `json:"labels"`
+		} `json:"counters"`
+	}
+	if err := cfg.getJSON(ctx, "/metrics?format=json", &snap); err != nil {
+		cfg.Logf("scrape /metrics: %v", err)
+		return nil
+	}
+	byRoute := make(map[string]uint64)
+	for _, c := range snap.Counters {
+		if c.Name == "tmplar_http_requests_total" {
+			byRoute[c.Labels["endpoint"]] += c.Value
+		}
+	}
+	return byRoute
+}
+
+func stateLevel(s string) int {
+	switch s {
+	case "ok":
+		return 0
+	case "warn":
+		return 1
+	default: // breach or anything unrecognized fails safe
+		return 2
+	}
+}
+
+// --- The run -----------------------------------------------------------------
+
+// Run offers cfg.Duration of open-loop load, then scrapes the server and
+// judges the run. The returned report is complete even when Pass is false;
+// a non-nil error means the run itself could not execute.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	nodes, err := cfg.gridNodes(ctx)
+	if err != nil {
+		return nil, err
+	}
+	dest := cfg.Destination
+	if dest < 0 {
+		dest = nodes - 1
+		if nodes > 10 {
+			dest = nodes - 10
+		}
+	}
+	if dest < 0 || dest >= nodes {
+		return nil, fmt.Errorf("destination %d outside grid of %d nodes", dest, nodes)
+	}
+	cfg.Logf("target %s grid %q (%d nodes) dest %d: %v rps for %v, %d in-flight max",
+		cfg.Target, cfg.Grid, nodes, dest, cfg.RPS, cfg.Duration, cfg.Concurrency)
+
+	rec := newRecorder()
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	// In-flight work may outlive the offering window by PollGrace so slow
+	// plans and queued jobs settle instead of being counted as timeouts.
+	workCtx, cancelWork := context.WithTimeout(ctx, cfg.Duration+cfg.PollGrace)
+	defer cancelWork()
+
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.NewTimer(cfg.Duration)
+	defer stop.Stop()
+
+	jobs := mixer{ratio: cfg.JobsRatio}
+	start := time.Now()
+	sent, shed := 0, 0
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-stop.C:
+			break loop
+		case <-ticker.C:
+			pr := cfg.request(sent, nodes, dest)
+			asJob := jobs.next()
+			sent++
+			select {
+			case sem <- struct{}{}:
+			default:
+				// Open-loop discipline: a server too slow to drain the
+				// in-flight window loses this request entirely.
+				shed++
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if asJob {
+					cfg.fireJob(workCtx, pr, rec)
+				} else {
+					cfg.fireSync(workCtx, pr, rec)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if cfg.Settle > 0 {
+		cfg.Logf("settling %v before the SLO scrape", cfg.Settle)
+		select {
+		case <-time.After(cfg.Settle):
+		case <-ctx.Done():
+		}
+	}
+
+	rep := &Report{
+		Target:          cfg.Target,
+		DurationSeconds: elapsed.Seconds(),
+		TargetRPS:       cfg.RPS,
+		Sent:            sent,
+		Shed:            shed,
+		Status:          rec.status,
+		OK:              rec.ok,
+		Errors:          rec.errs,
+		Throttled:       rec.throttled,
+	}
+	rep.Completed = rec.ok + rec.errs + rec.throttled
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(rep.Completed) / elapsed.Seconds()
+	}
+	sort.Float64s(rec.latencies)
+	rep.LatencyP50 = percentile(rec.latencies, 0.50)
+	rep.LatencyP90 = percentile(rec.latencies, 0.90)
+	rep.LatencyP99 = percentile(rec.latencies, 0.99)
+	rep.ServerRequests = cfg.scrapeServerRequests(ctx)
+
+	rep.Pass = true
+	fail := func(format string, args ...any) {
+		rep.Pass = false
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf(format, args...))
+	}
+	if sent > 0 && rep.Completed == 0 {
+		fail("no requests completed (%d sent, %d shed)", sent, shed)
+	}
+
+	var sloRep slo.Report
+	sloErr := cfg.getJSON(ctx, "/debug/slo", &sloRep)
+	if sloErr != nil {
+		if len(cfg.SLOs) > 0 {
+			fail("scrape /debug/slo: %v", sloErr)
+		}
+	} else {
+		rep.SLOs = sloRep.SLOs
+	}
+	failAt := stateLevel(cfg.FailOn)
+	byName := make(map[string]slo.Status, len(rep.SLOs))
+	for _, st := range rep.SLOs {
+		byName[st.Name] = st
+	}
+	for _, sp := range cfg.SLOs {
+		st, found := byName[sp.Name]
+		if !found {
+			if sloErr == nil {
+				fail("SLO %q not reported by server", sp.Name)
+			}
+			rep.Verdicts = append(rep.Verdicts, Verdict{
+				Name: sp.Name, State: "missing", Pass: false,
+				Detail: "not reported by server",
+			})
+			continue
+		}
+		v := Verdict{
+			Name:           st.Name,
+			State:          st.State,
+			BudgetConsumed: st.BudgetUsed,
+			Pass:           stateLevel(st.State) < failAt,
+		}
+		if !v.Pass {
+			detail := fmt.Sprintf("state %s at or past fail level %s", st.State, cfg.FailOn)
+			if st.Exemplar != nil && st.Exemplar.TraceID != "" {
+				detail += "; exemplar trace " + st.Exemplar.TraceID
+			}
+			v.Detail = detail
+			fail("SLO %q: %s", st.Name, detail)
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+	}
+	return rep, nil
+}

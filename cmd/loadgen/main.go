@@ -1,0 +1,155 @@
+// Command loadgen offers open-loop plan-request load to a live tmplard
+// instance and judges the run against the service's SLOs.
+//
+// Requests launch on a fixed schedule derived from -rps regardless of how
+// fast responses return, bounded by -concurrency in-flight slots; when every
+// slot is busy the scheduled request is shed and counted rather than queued,
+// so a slow server keeps facing the full offered rate exactly as it would in
+// production. The scenario mix rotates team sizes (-assets), optionally caps
+// per-mission deadlines (-deadline-ms) and steps (-max-steps), and routes a
+// deterministic fraction of requests through the async job plane
+// (-jobs-ratio) where latency is measured submit-to-settled.
+//
+// After the load window the generator scrapes GET /metrics?format=json and
+// GET /debug/slo, folds the server-side SLO states into a compliance report
+// (achieved RPS, client-observed p50/p90/p99, error budget consumed, one
+// verdict per required SLO), prints the report as JSON on stdout, and exits:
+//
+//	0  every required SLO below the -fail-on level
+//	1  compliance failure (report says why, including exemplar trace IDs)
+//	2  the run itself could not execute
+//
+// Required SLOs default to the server's compiled-in set; -slo-config points
+// at the same JSON spec format tmplard's -slo-config accepts.
+//
+// Example:
+//
+//	loadgen -target http://localhost:8080 -grid ops-area -rps 50 -duration 1m
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/routeplanning/mamorl/internal/slo"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "http://localhost:8080", "base URL of the tmplard instance under test")
+		duration    = flag.Duration("duration", 30*time.Second, "how long to offer load")
+		rps         = flag.Float64("rps", 50, "open-loop request rate")
+		concurrency = flag.Int("concurrency", 64, "max in-flight requests; excess scheduled requests are shed")
+		gridName    = flag.String("grid", "ops-area", "grid every mission plans on (must exist on the server)")
+		assets      = flag.String("assets", "2", "comma-separated team sizes the mix rotates through")
+		destination = flag.Int("destination", -1, "destination node; negative derives one from the grid size")
+		deadlineMS  = flag.Int64("deadline-ms", 0, "per-mission planning deadline in ms; 0 keeps the server default")
+		maxSteps    = flag.Int("max-steps", 0, "per-mission step cap; 0 keeps the server default")
+		jobsRatio   = flag.Float64("jobs-ratio", 0.25, "fraction of requests submitted via the async job plane")
+		seed        = flag.Int64("seed", 1, "base mission seed; request i plans with seed+i")
+		pollEvery   = flag.Duration("poll-interval", 50*time.Millisecond, "async job polling cadence")
+		settle      = flag.Duration("settle", 3*time.Second, "pause before the final SLO scrape (>= one server sample interval)")
+		failOn      = flag.String("fail-on", "breach", "SLO state that fails the run: warn or breach")
+		sloConfig   = flag.String("slo-config", "", "JSON SLO spec file to judge against; empty uses the compiled-in defaults")
+		verbose     = flag.Bool("v", false, "log run progress to stderr")
+	)
+	flag.Parse()
+
+	assetCounts, err := parseCounts(*assets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	var specs []slo.Spec
+	if *sloConfig != "" {
+		specs, err = slo.LoadFile(*sloConfig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(2)
+		}
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		log.SetFlags(log.Ltime | log.Lmicroseconds)
+		logf = log.Printf
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := Run(ctx, Config{
+		Target:       *target,
+		Duration:     *duration,
+		RPS:          *rps,
+		Concurrency:  *concurrency,
+		Grid:         *gridName,
+		AssetCounts:  assetCounts,
+		Destination:  *destination,
+		DeadlineMS:   *deadlineMS,
+		MaxSteps:     *maxSteps,
+		JobsRatio:    *jobsRatio,
+		Seed:         *seed,
+		PollInterval: *pollEvery,
+		Settle:       *settle,
+		FailOn:       *failOn,
+		SLOs:         specs,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+
+	fmt.Fprintf(os.Stderr, "loadgen: sent %d shed %d completed %d (ok %d err %d throttled %d)\n",
+		rep.Sent, rep.Shed, rep.Completed, rep.OK, rep.Errors, rep.Throttled)
+	fmt.Fprintf(os.Stderr, "loadgen: achieved %.1f rps of %.1f target; p50 %s p90 %s p99 %s\n",
+		rep.AchievedRPS, rep.TargetRPS,
+		time.Duration(rep.LatencyP50*float64(time.Second)),
+		time.Duration(rep.LatencyP90*float64(time.Second)),
+		time.Duration(rep.LatencyP99*float64(time.Second)))
+	for _, v := range rep.Verdicts {
+		mark := "PASS"
+		if !v.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: SLO %-20s %s state=%s budget_consumed=%.1f%% %s\n",
+			v.Name, mark, v.State, v.BudgetConsumed*100, v.Detail)
+	}
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %s\n", strings.Join(rep.Reasons, "; "))
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "loadgen: PASS")
+}
+
+func parseCounts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad asset count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no asset counts in %q", csv)
+	}
+	return out, nil
+}

@@ -14,7 +14,8 @@
 //	GET  /readyz                readiness (503 until a grid and the model are loaded)
 //	GET  /version               binary build info (module version, Go version, VCS)
 //	GET  /metrics               metrics (Prometheus text; ?format=json for JSON)
-//	GET  /debug/traces          recent request traces (ring buffer, JSON; ?n= limit)
+//	GET  /debug/traces          recent request traces (ring buffer, JSON; ?limit= / ?name= filters)
+//	GET  /debug/slo             evaluated SLO burn-rate report (JSON; see -slo-config)
 //	GET  /debug/dash            self-contained live dashboard (HTML, no external assets)
 //	GET  /debug/metrics/stream  time-series samples over SSE (feeds the dashboard)
 //	GET  /api/grids             registered grids (name-sorted)
@@ -50,6 +51,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -95,6 +97,9 @@ func main() {
 		maxSamples  = flag.Int64("max-samples", 0, "per-request budget: training samples drawn (0 = unlimited; 429 when exhausted)")
 		maxBytes    = flag.Int64("max-bytes", 0, "per-request budget: approximate bytes allocated (0 = unlimited; 429 when exhausted)")
 		sseKeep     = flag.Duration("sse-keepalive", 0, "SSE idle keep-alive interval (0 = default 15s, negative = disabled)")
+		sloConfig   = flag.String("slo-config", "", "SLO spec JSON file ({\"slos\": [...]}); empty = compiled-in defaults, \"none\" disables evaluation")
+		mutexFrac   = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction for the -pprof mutex profile (0 = off)")
+		blockRate   = flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate in ns for the -pprof block profile (0 = off)")
 		version     = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
@@ -125,6 +130,21 @@ func main() {
 		"version", bi.Version, "go", bi.GoVersion,
 		"revision", bi.Revision, "modified", bi.Modified)
 
+	// nil keeps the compiled-in default objectives; an empty non-nil slice
+	// disables evaluation ("none"); a file path replaces them entirely.
+	var sloSpecs []mamorl.SLOSpec
+	switch *sloConfig {
+	case "":
+	case "none":
+		sloSpecs = []mamorl.SLOSpec{}
+	default:
+		sloSpecs, err = mamorl.LoadSLOConfig(*sloConfig)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		logger.Info("loaded SLO config", "path", *sloConfig, "slos", len(sloSpecs))
+	}
+
 	logger.Info("initializing Approx-MaMoRL model", "seed", *seed, "model_dir", *modelDir)
 	srv, err := mamorl.NewTMPLARServerOpts(*seed, mamorl.TMPLAROptions{
 		PlanTimeout:    *planTimeout,
@@ -144,6 +164,7 @@ func main() {
 		MaxSamples:     *maxSamples,
 		MaxBytes:       *maxBytes,
 		SSEKeepAlive:   *sseKeep,
+		SLOs:           sloSpecs,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -188,6 +209,17 @@ func main() {
 	// The profiling endpoints live on their own listener (normally bound to
 	// localhost) so they are never reachable through the public API address.
 	if *pprofAddr != "" {
+		// Contention profiles are opt-in: sampling mutex waits and blocking
+		// events costs a little on every contended operation, so both stay
+		// off unless their flag asks for them.
+		if *mutexFrac > 0 {
+			runtime.SetMutexProfileFraction(*mutexFrac)
+			logger.Info("mutex profiling enabled", "fraction", *mutexFrac)
+		}
+		if *blockRate > 0 {
+			runtime.SetBlockProfileRate(*blockRate)
+			logger.Info("block profiling enabled", "rate_ns", *blockRate)
+		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -71,7 +71,17 @@ func StreamHandlerOpts(s *Sampler, keepAlive time.Duration) http.Handler {
 // subscribes to the SSE stream at streamPath and renders every series as a
 // tile with its latest value and recent history.
 func DashHandler(streamPath string) http.Handler {
+	return DashHandlerOpts(streamPath, "")
+}
+
+// DashHandlerOpts is DashHandler plus an optional SLO report endpoint
+// (tmplar's /debug/slo). When sloPath is non-empty the page polls it and
+// renders an objectives panel above the metric tiles: state, burn rates,
+// budget consumed, and — when an objective knows its most recent violating
+// request — a link into /debug/traces for that exemplar's trace ID.
+func DashHandlerOpts(streamPath, sloPath string) http.Handler {
 	page := strings.Replace(dashHTML, "__STREAM_PATH__", streamPath, 1)
+	page = strings.Replace(page, "__SLO_PATH__", sloPath, 1)
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		_, _ = w.Write([]byte(page))
@@ -102,6 +112,17 @@ const dashHTML = `<!doctype html>
   .tile .val { font-size: 18px; margin: 2px 0 4px; }
   .tile svg { display: block; width: 100%; height: 36px; }
   .tile polyline { fill: none; stroke: #4f9cf9; stroke-width: 1.5; }
+  #slos { margin-bottom: 12px; }
+  #slos table { border-collapse: collapse; width: 100%; background: #1b1f26;
+                border: 1px solid #2c323b; border-radius: 6px; }
+  #slos th, #slos td { text-align: left; padding: 5px 10px; border-bottom: 1px solid #2c323b; }
+  #slos th { color: #9aa4b2; font-size: 11px; font-weight: 500; }
+  #slos .objective { color: #9aa4b2; }
+  #slos a { color: #4f9cf9; text-decoration: none; }
+  .st { padding: 1px 7px; border-radius: 8px; font-size: 11px; }
+  .st-ok { background: #143a1f; color: #5cb870; }
+  .st-warn { background: #3d3314; color: #d6a545; }
+  .st-breach { background: #3f1a1a; color: #e06c6c; }
 </style>
 </head>
 <body>
@@ -110,6 +131,7 @@ const dashHTML = `<!doctype html>
   <span id="status">connecting&hellip;</span>
   <input id="filter" type="search" placeholder="filter series (e.g. rate, heap, p99)">
 </header>
+<div id="slos"></div>
 <div id="tiles"></div>
 <script>
 "use strict";
@@ -180,6 +202,38 @@ function render() {
   keys.forEach((k, i) => { names[i].textContent = k; });
 }
 setInterval(render, 1000);
+
+// --- SLO panel (only when the server exposes a report endpoint) -----------
+const SLO_PATH = "__SLO_PATH__";
+const sloBox = document.getElementById("slos");
+function esc(s) {
+  return String(s).replace(/[&<>"']/g, c => ({
+    "&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;", "'": "&#39;"
+  })[c]);
+}
+async function pollSLOs() {
+  if (!SLO_PATH) return;
+  let report;
+  try {
+    report = await (await fetch(SLO_PATH)).json();
+  } catch (e) { return; }
+  const slos = report.slos || [];
+  if (!slos.length) { sloBox.innerHTML = ""; return; }
+  const rows = slos.map(s => {
+    const ex = s.exemplar
+      ? '<a href="/debug/traces?name=' + esc(s.exemplar.trace_id) + '" title="' +
+        esc(s.exemplar.value) + 's">' + esc(s.exemplar.trace_id.slice(-6)) + "</a>"
+      : "&mdash;";
+    return "<tr><td>" + esc(s.name) + '</td><td><span class="st st-' + esc(s.state) + '">' +
+      esc(s.state) + '</span></td><td class="objective">' + esc(s.objective) + "</td><td>" +
+      fmt(s.short_burn) + " / " + fmt(s.long_burn) + "</td><td>" +
+      (100 * s.budget_consumed).toFixed(1) + "%</td><td>" + ex + "</td></tr>";
+  }).join("");
+  sloBox.innerHTML = "<table><tr><th>slo</th><th>state</th><th>objective</th>" +
+    "<th>burn (short/long)</th><th>budget used</th><th>exemplar</th></tr>" + rows + "</table>";
+}
+pollSLOs();
+setInterval(pollSLOs, 5000);
 </script>
 </body>
 </html>

@@ -161,8 +161,26 @@ func TestDashHandler(t *testing.T) {
 		t.Error("placeholder left in the page")
 	}
 	// Self-containment: the page must not fetch anything external — no
-	// absolute URLs, no src/href attributes at all.
-	if re := regexp.MustCompile(`https?://|<link|<img|src=|href=|@import|url\(`); re.MatchString(body) {
+	// absolute URLs, no resource-loading tags or attributes. Relative <a
+	// href> links (the SLO panel's exemplar → /debug/traces jump) are user
+	// navigation, not asset fetches, so href is only banned on loading tags
+	// (<link> is matched outright).
+	if re := regexp.MustCompile(`https?://|<link|<img|<script src|src=|@import|url\(`); re.MatchString(body) {
 		t.Errorf("dashboard references external assets: %v", re.FindString(body))
+	}
+	if strings.Contains(body, "__SLO_PATH__") {
+		t.Error("SLO path placeholder left in the page")
+	}
+}
+
+func TestDashHandlerOptsSLOPanel(t *testing.T) {
+	rec := httptest.NewRecorder()
+	DashHandlerOpts("/s", "/debug/slo").ServeHTTP(rec, httptest.NewRequest("GET", "/debug/dash", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, `SLO_PATH = "/debug/slo"`) {
+		t.Error("SLO path not substituted into the page")
+	}
+	if !strings.Contains(body, "/debug/traces?name=") {
+		t.Error("SLO panel lacks the exemplar trace link")
 	}
 }

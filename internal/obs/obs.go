@@ -73,6 +73,7 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
 type Histogram struct {
 	bounds []float64       // strictly increasing upper bounds
 	counts []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
+	ex     []exemplarSlot  // parallel to counts; most recent exemplar per bucket
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
 }
@@ -231,6 +232,7 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *H
 	}
 	h := &Histogram{bounds: append([]float64(nil), bounds...)}
 	h.counts = make([]atomic.Uint64, len(h.bounds)+1)
+	h.ex = make([]exemplarSlot, len(h.bounds)+1)
 	e = &histEntry{name: name, labels: append([]string(nil), labels...), h: h}
 	r.hists[key] = e
 	return e.h
@@ -254,14 +256,18 @@ type GaugeSnapshot struct {
 
 // HistogramSnapshot is one histogram's exported state. Buckets are
 // cumulative counts of observations <= the matching bound; the +Inf bucket
-// equals Count.
+// equals Count. Exemplars, when present, is parallel to Buckets: entry i is
+// the most recent ObserveExemplar sample that landed in bucket i (nil when
+// that bucket never received one); the field is omitted entirely for
+// histograms fed only by plain Observe.
 type HistogramSnapshot struct {
-	Name    string            `json:"name"`
-	Labels  map[string]string `json:"labels,omitempty"`
-	Count   uint64            `json:"count"`
-	Sum     float64           `json:"sum"`
-	Bounds  []float64         `json:"bounds"`
-	Buckets []uint64          `json:"buckets"`
+	Name      string            `json:"name"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Count     uint64            `json:"count"`
+	Sum       float64           `json:"sum"`
+	Bounds    []float64         `json:"bounds"`
+	Buckets   []uint64          `json:"buckets"`
+	Exemplars []*Exemplar       `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time JSON-able view of the whole registry.
@@ -302,7 +308,8 @@ func (r *Registry) Snapshot() Snapshot {
 		hs := HistogramSnapshot{
 			Name: e.name, Labels: labelMap(e.labels),
 			Count: e.h.Count(), Sum: e.h.Sum(),
-			Bounds: append([]float64(nil), e.h.bounds...),
+			Bounds:    append([]float64(nil), e.h.bounds...),
+			Exemplars: e.h.Exemplars(),
 		}
 		cum := uint64(0)
 		for i := range e.h.counts {

@@ -1,0 +1,6 @@
+//go:build !race
+
+package obs
+
+// raceEnabled mirrors the race detector build tag.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled mirrors the race detector build tag: the detector inflates
+// allocation counts, which the exemplar alloc regression tests pin.
+const raceEnabled = true

@@ -1,0 +1,205 @@
+package tmplar
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/routeplanning/mamorl/internal/slo"
+	"github.com/routeplanning/mamorl/internal/trace"
+)
+
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"/healthz":                   "/healthz",
+		"/api/plan":                  "/api/plan",
+		"/api/plan/asset":            "/api/plan/asset",
+		"/api/jobs/plan":             "/api/jobs/plan",
+		"/api/jobs/abc-123":          "/api/jobs/{id}",
+		"/api/jobs/abc-123/events":   "/api/jobs/{id}/events",
+		"/api/jobs/":                 "other",
+		"/api/jobs/a/b":              "other",
+		"/api/jobs/a/events/extra":   "other",
+		"/debug/slo":                 "/debug/slo",
+		"/debug/traces":              "/debug/traces",
+		"/boom":                      "other",
+		"/api/plan/":                 "other",
+		"/../../etc/passwd":          "other",
+		"/metrics/what/is/this/even": "other",
+	}
+	for path, want := range cases {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestSLOBreachEndToEnd is the acceptance scenario: a deadline pinned below
+// any achievable planning latency turns every plan into a 503, the
+// availability SLO flips to breach on the next evaluation, the report's
+// exemplar carries a real trace ID, and that ID resolves through
+// GET /debug/traces?name=.
+func TestSLOBreachEndToEnd(t *testing.T) {
+	s, err := NewServerOpts(17, Options{PlanTimeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g, ok := server(t).lookupGrid("ops-area")
+	if !ok {
+		t.Fatal("ops-area missing from shared server")
+	}
+	s.InstallGrid(g)
+	h := s.Handler()
+
+	report := func() slo.Report {
+		t.Helper()
+		rec := do(t, h, "GET", "/debug/slo", nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("debug/slo: %d %s", rec.Code, rec.Body.String())
+		}
+		var r slo.Report
+		if err := json.Unmarshal(rec.Body.Bytes(), &r); err != nil {
+			t.Fatalf("decode report: %v (%s)", err, rec.Body.String())
+		}
+		return r
+	}
+	status := func(r slo.Report, name string) slo.Status {
+		t.Helper()
+		for _, st := range r.SLOs {
+			if st.Name == name {
+				return st
+			}
+		}
+		t.Fatalf("report lacks SLO %q: %+v", name, r)
+		return slo.Status{}
+	}
+
+	// Before any traffic the default objectives evaluate healthy.
+	s.Sampler().Tick()
+	r := report()
+	if len(r.SLOs) != 3 {
+		t.Fatalf("default report has %d SLOs, want 3: %+v", len(r.SLOs), r)
+	}
+	for _, st := range r.SLOs {
+		if st.State != "ok" {
+			t.Fatalf("SLO %q starts at %q, want ok", st.Name, st.State)
+		}
+	}
+
+	// Induce the breach: the nanosecond deadline 503s every plan.
+	for i := 0; i < 5; i++ {
+		if rec := do(t, h, "POST", "/api/plan", opsPlanRequest()); rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("plan %d: code %d, want 503", i, rec.Code)
+		}
+	}
+	s.Sampler().Tick()
+	av := status(report(), "plan-availability")
+	if av.State != "breach" {
+		t.Fatalf("plan-availability = %q after five 503s, want breach (%+v)", av.State, av)
+	}
+	if av.Exemplar == nil || av.Exemplar.TraceID == "" {
+		t.Fatalf("breached SLO carries no exemplar: %+v", av)
+	}
+
+	// The exemplar's trace ID resolves to the offending request's trace.
+	rec := do(t, h, "GET", "/debug/traces?name="+av.Exemplar.TraceID+"&limit=1", nil)
+	var spans []*trace.Span
+	if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil {
+		t.Fatalf("decode traces: %v (%s)", err, rec.Body.String())
+	}
+	if len(spans) != 1 || spans[0].TraceID.String() != av.Exemplar.TraceID {
+		t.Fatalf("traces?name=%s returned %+v", av.Exemplar.TraceID, spans)
+	}
+
+	// The transition itself is observable everywhere: the state gauge in
+	// /metrics, the transition counter, and a slo.transition trace span.
+	text := do(t, h, "GET", "/metrics", nil).Body.String()
+	if !strings.Contains(text, `slo_state{slo="plan-availability"} 2`) {
+		t.Errorf("/metrics lacks the breach gauge:\n%s", text)
+	}
+	if got := s.Metrics().CounterValue("slo_transitions_total",
+		"slo", "plan-availability", "from", "ok", "to", "breach"); got != 1 {
+		t.Errorf("transition counter = %d, want 1", got)
+	}
+	tr := do(t, h, "GET", "/debug/traces?name=slo.transition", nil)
+	var transitions []*trace.Span
+	if err := json.Unmarshal(tr.Body.Bytes(), &transitions); err != nil || len(transitions) == 0 {
+		t.Errorf("no slo.transition span in /debug/traces: %v %s", err, tr.Body.String())
+	}
+
+	// Recovery: healthy traffic through a fresh window de-escalates over
+	// successive evaluations (one level per tick).
+	// The nanosecond deadline makes success impossible on this server, so
+	// just confirm the report stays serveable and deterministic in shape.
+	if got := status(report(), "plan-availability").Objective; !strings.Contains(got, "error-rate") {
+		t.Errorf("objective rendering = %q", got)
+	}
+}
+
+// TestSLOsDisabled: an empty non-nil spec slice turns evaluation off while
+// /debug/slo keeps answering with an empty report.
+func TestSLOsDisabled(t *testing.T) {
+	s, err := NewServerOpts(17, Options{SLOs: []slo.Spec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.SLO() != nil {
+		t.Fatal("engine built despite empty spec slice")
+	}
+	rec := do(t, s.Handler(), "GET", "/debug/slo", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug/slo: %d", rec.Code)
+	}
+	var r slo.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &r); err != nil || len(r.SLOs) != 0 {
+		t.Fatalf("disabled report = %s (err %v)", rec.Body.String(), err)
+	}
+	s.Sampler().Tick() // must not panic with no engine hook
+}
+
+// TestTracesQueryFilters covers the ?name= / ?limit= filters on the shared
+// server.
+func TestTracesQueryFilters(t *testing.T) {
+	s := server(t)
+	h := s.Handler()
+	rec := do(t, h, "GET", "/healthz", nil)
+	id := rec.Header().Get("X-Trace-Id")
+	if id == "" {
+		t.Fatal("no X-Trace-Id header")
+	}
+
+	byID := do(t, h, "GET", "/debug/traces?name="+id, nil)
+	var spans []*trace.Span
+	if err := json.Unmarshal(byID.Body.Bytes(), &spans); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatalf("?name=%s matched nothing", id)
+	}
+	for _, sp := range spans {
+		if sp.TraceID.String() != id {
+			t.Fatalf("?name=%s returned foreign span %+v", id, sp)
+		}
+	}
+
+	byName := do(t, h, "GET", "/debug/traces?name=request&limit=1", nil)
+	spans = nil
+	if err := json.Unmarshal(byName.Body.Bytes(), &spans); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(spans) != 1 || spans[0].Name != "request" {
+		t.Fatalf("?name=request&limit=1 = %+v", spans)
+	}
+
+	if bad := do(t, h, "GET", "/debug/traces?limit=-3", nil); bad.Code != http.StatusBadRequest {
+		t.Errorf("negative limit: code %d, want 400", bad.Code)
+	}
+	if bad := do(t, h, "GET", "/debug/traces?name=no-such-span-name", nil); bad.Code != http.StatusOK ||
+		strings.TrimSpace(bad.Body.String()) != "[]" {
+		t.Errorf("unmatched name should answer an empty list, got %d %s", bad.Code, bad.Body.String())
+	}
+}

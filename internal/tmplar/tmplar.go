@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"github.com/routeplanning/mamorl/internal/registry"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/slo"
 	"github.com/routeplanning/mamorl/internal/trace"
 	"github.com/routeplanning/mamorl/internal/vessel"
 	"github.com/routeplanning/mamorl/internal/weather"
@@ -115,6 +117,10 @@ type Options struct {
 	// (/debug/metrics/stream and /api/jobs/{id}/events). 0 selects
 	// obs.DefaultKeepAliveInterval; negative disables keep-alives.
 	SSEKeepAlive time.Duration
+	// SLOs are the service-level objectives evaluated on every sampler tick
+	// and served at GET /debug/slo. nil selects slo.Defaults(); an empty
+	// non-nil slice disables SLO evaluation entirely.
+	SLOs []slo.Spec
 }
 
 func (o Options) withDefaults() Options {
@@ -135,6 +141,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.JobTimeout <= 0 {
 		o.JobTimeout = o.PlanTimeout
+	}
+	if o.SLOs == nil {
+		o.SLOs = slo.Defaults()
 	}
 	return o
 }
@@ -160,6 +169,7 @@ type Server struct {
 	tracer  *trace.Tracer
 	sampler *obs.Sampler
 	jobs    *jobs.Queue
+	sloEng  *slo.Engine
 	// modelSource/modelArtifact record where the model came from:
 	// ("trained", artifact-id-or-empty) or ("registry", artifact-id).
 	modelSource   string
@@ -189,10 +199,25 @@ func NewServerOpts(seed int64, opts Options) (*Server, error) {
 	// The sampler folds Go runtime telemetry into the registry on every tick,
 	// so the dashboard shows heap/GC/goroutine series alongside service ones.
 	rc := obs.NewRuntimeCollector(opts.Metrics)
+	onTick := []func(){rc.Collect}
+	// The SLO engine shares the sampler's cadence: evaluating right after
+	// the runtime collector means slo_state / slo_burn_rate land in the
+	// same sample frame the dashboard streams. Building it here (after
+	// training) baselines its windows past the training-time metrics.
+	var sloEng *slo.Engine
+	if len(opts.SLOs) > 0 {
+		sloEng = slo.NewEngine(slo.EngineOptions{
+			Registry: opts.Metrics,
+			Specs:    opts.SLOs,
+			Logger:   opts.Logger,
+			Tracer:   tracer,
+		})
+		onTick = append(onTick, sloEng.Tick)
+	}
 	sampler := obs.NewSampler(opts.Metrics, obs.SamplerOptions{
 		Interval: opts.SampleInterval,
 		Capacity: opts.SampleCapacity,
-		OnTick:   []func(){rc.Collect},
+		OnTick:   onTick,
 	})
 	queue := jobs.New(jobs.Options{
 		Workers:        opts.JobWorkers,
@@ -213,6 +238,7 @@ func NewServerOpts(seed int64, opts Options) (*Server, error) {
 		tracer:        tracer,
 		sampler:       sampler,
 		jobs:          queue,
+		sloEng:        sloEng,
 		modelSource:   source,
 		modelArtifact: artifact,
 	}, nil
@@ -308,10 +334,10 @@ func (s *Server) Close() {
 // exposition (# HELP lines).
 func registerHelp(m *obs.Registry) {
 	for name, help := range map[string]string{
-		"tmplar_http_requests_total":          "HTTP requests served, by endpoint and status.",
-		"tmplar_http_request_seconds":         "End-to-end HTTP request latency.",
+		"tmplar_http_requests_total":          "HTTP requests served, by route pattern and status.",
+		"tmplar_http_request_seconds":         "End-to-end HTTP request latency, by route pattern.",
 		"tmplar_inflight_requests":            "Requests currently being served.",
-		"tmplar_plan_seconds":                 "Planning (mission simulation) latency per request.",
+		"tmplar_plan_seconds":                 "Planning (mission simulation) latency per request, by route and outcome.",
 		"tmplar_plan_completed_total":         "Planning requests answered 200, by algorithm.",
 		"tmplar_plan_errors_total":            "Planning requests failed, by HTTP status.",
 		"tmplar_plan_deadline_exceeded_total": "Planning requests that ran out of deadline budget.",
@@ -329,6 +355,10 @@ func registerHelp(m *obs.Registry) {
 
 // Metrics returns the server's metrics registry (never nil).
 func (s *Server) Metrics() *obs.Registry { return s.opts.Metrics }
+
+// SLO returns the burn-rate engine behind /debug/slo, or nil when SLO
+// evaluation is disabled (Options.SLOs set to an empty non-nil slice).
+func (s *Server) SLO() *slo.Engine { return s.sloEng }
 
 // Sampler returns the time-series sampler behind /debug/metrics/stream.
 // The caller decides whether it ticks: run Sampler().Run(ctx) in a
@@ -373,7 +403,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /metrics", obs.Handler(s.opts.Metrics))
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/metrics/stream", s.handleStream)
-	mux.Handle("GET /debug/dash", obs.DashHandler("/debug/metrics/stream"))
+	mux.Handle("GET /debug/slo", s.sloEng.Handler())
+	mux.Handle("GET /debug/dash", obs.DashHandlerOpts("/debug/metrics/stream", "/debug/slo"))
 	return s.instrument(recoverPanics(mux))
 }
 
@@ -430,9 +461,35 @@ func recoverPanics(next http.Handler) http.Handler {
 	})
 }
 
+// routeLabel normalizes a request path into its route pattern for metric
+// labels: parameterized routes collapse to their pattern ("/api/jobs/{id}")
+// and unknown paths collapse to "other", so label cardinality stays bounded
+// no matter what clients probe and SLO selectors can name routes exactly.
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz", "/readyz", "/version",
+		"/api/grids", "/api/plan", "/api/plan/asset", "/api/jobs/plan",
+		"/metrics", "/debug/traces", "/debug/metrics/stream", "/debug/slo", "/debug/dash":
+		return path
+	}
+	if rest, ok := strings.CutPrefix(path, "/api/jobs/"); ok && rest != "" {
+		switch strings.Count(rest, "/") {
+		case 0:
+			return "/api/jobs/{id}"
+		case 1:
+			if strings.HasSuffix(rest, "/events") {
+				return "/api/jobs/{id}/events"
+			}
+		}
+	}
+	return "other"
+}
+
 // instrument opens the request span (whose trace ID is echoed back in the
 // X-Trace-Id header and stamped on the request log record), tracks in-flight
-// requests, and records request count by endpoint/status plus latency.
+// requests, and records request count by endpoint/status plus latency. The
+// endpoint label is the route pattern, not the raw path; the raw path still
+// reaches the log record and the request span.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -441,7 +498,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		inflight.Inc()
 		defer inflight.Dec()
 
-		endpoint := r.URL.Path
+		endpoint := routeLabel(r.URL.Path)
 		sp := s.startRequestSpan(r, endpoint)
 		if sp != nil {
 			// The trace ID reaches the client before the handler runs, so
@@ -461,15 +518,22 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		}
 		s.opts.Metrics.Counter("tmplar_http_requests_total",
 			"endpoint", endpoint, "status", fmt.Sprint(rec.status)).Inc()
-		s.opts.Metrics.Histogram("tmplar_http_request_seconds",
-			obs.DefaultLatencyBuckets, "endpoint", endpoint).Observe(elapsed.Seconds())
+		h := s.opts.Metrics.Histogram("tmplar_http_request_seconds",
+			obs.DefaultLatencyBuckets, "endpoint", endpoint)
+		if sp != nil {
+			// The exemplar ties the latency bucket back to a concrete trace
+			// in /debug/traces — zero extra allocations on this path.
+			h.ObserveExemplar(elapsed.Seconds(), uint64(sp.TraceID), start.UnixNano())
+		} else {
+			h.Observe(elapsed.Seconds())
+		}
 		if s.opts.Logger != nil {
 			traceID := ""
 			if sp != nil {
 				traceID = sp.TraceID.String()
 			}
 			s.opts.Logger.Info("request",
-				"method", r.Method, "path", endpoint, "status", rec.status,
+				"method", r.Method, "path", r.URL.Path, "status", rec.status,
 				"dur", elapsed, "trace", traceID)
 		}
 	})
@@ -492,11 +556,27 @@ func (s *Server) startRequestSpan(r *http.Request, endpoint string) *trace.Span 
 }
 
 // handleTraces serves the ring of recent completed spans as JSON, newest
-// last. ?n= limits the answer to the newest n spans.
+// last. ?n= (alias ?limit=) keeps only the newest n spans; ?name= keeps
+// spans whose name or trace ID equals the value, so both "plan" and an
+// exemplar's hex trace ID from /debug/slo resolve directly.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	spans := s.ring.Snapshot()
-	if v := r.URL.Query().Get("n"); v != "" {
-		n, err := strconv.Atoi(v)
+	q := r.URL.Query()
+	if name := q.Get("name"); name != "" {
+		kept := spans[:0]
+		for _, sp := range spans {
+			if sp.Name == name || sp.TraceID.String() == name {
+				kept = append(kept, sp)
+			}
+		}
+		spans = kept
+	}
+	limit := q.Get("n")
+	if limit == "" {
+		limit = q.Get("limit")
+	}
+	if limit != "" {
+		n, err := strconv.Atoi(limit)
 		if err != nil || n < 0 {
 			writeJSON(w, http.StatusBadRequest, errorResponse{"n must be a non-negative integer"})
 			return
@@ -883,8 +963,20 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, req PlanReque
 	elapsed := time.Since(start)
 
 	m := s.opts.Metrics
-	m.Histogram("tmplar_plan_seconds", obs.DefaultLatencyBuckets,
-		"endpoint", r.URL.Path).Observe(elapsed.Seconds())
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	// The outcome label lets availability SLOs pick a failed request's
+	// latency sample as their exemplar; the exemplar itself carries the
+	// request trace ID so /debug/slo links straight into /debug/traces.
+	h := m.Histogram("tmplar_plan_seconds", obs.DefaultLatencyBuckets,
+		"endpoint", routeLabel(r.URL.Path), "outcome", outcome)
+	if sp := trace.SpanFromContext(r.Context()); sp != nil {
+		h.ObserveExemplar(elapsed.Seconds(), uint64(sp.TraceID), start.UnixNano())
+	} else {
+		h.Observe(elapsed.Seconds())
+	}
 	if err != nil {
 		if writeOverBudget(w, err) {
 			return

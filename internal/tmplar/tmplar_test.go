@@ -723,7 +723,8 @@ func TestPanicRecoveryAnswers500(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
 		t.Fatalf("500 body is not JSON: %v (%s)", err, rec.Body.String())
 	}
-	if got := s.Metrics().CounterValue("tmplar_http_requests_total", "endpoint", "/boom", "status", "500"); got != 1 {
-		t.Errorf("http_requests{/boom,500} = %d, want 1", got)
+	// Unknown paths collapse to the bounded "other" route label.
+	if got := s.Metrics().CounterValue("tmplar_http_requests_total", "endpoint", "other", "status", "500"); got != 1 {
+		t.Errorf("http_requests{other,500} = %d, want 1", got)
 	}
 }

@@ -49,6 +49,7 @@ import (
 	"github.com/routeplanning/mamorl/internal/render"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
+	"github.com/routeplanning/mamorl/internal/slo"
 	"github.com/routeplanning/mamorl/internal/tmplar"
 	"github.com/routeplanning/mamorl/internal/vessel"
 	"github.com/routeplanning/mamorl/internal/weather"
@@ -414,6 +415,26 @@ func ReadBuildInfo() BuildInfo { return tmplar.ReadBuildInfo() }
 // MetricsSampler periodically snapshots a metrics registry into a ring of
 // timestamped samples; it feeds GET /debug/metrics/stream and /debug/dash.
 type MetricsSampler = obs.Sampler
+
+// SLOSpec declares one service-level objective (latency or error-rate),
+// evaluated continuously into burn-rate states served at GET /debug/slo.
+// Set TMPLAROptions.SLOs to override the compiled-in defaults.
+type SLOSpec = slo.Spec
+
+// SLOEngine is the burn-rate evaluator behind GET /debug/slo; obtain a
+// server's via TMPLARServer.SLO().
+type SLOEngine = slo.Engine
+
+// SLOReport is the evaluated verdict set served at GET /debug/slo.
+type SLOReport = slo.Report
+
+// DefaultSLOs returns the compiled-in objectives tmplard evaluates when no
+// -slo-config file is given.
+func DefaultSLOs() []SLOSpec { return slo.Defaults() }
+
+// LoadSLOConfig reads and validates an SLO config file ({"slos": [...]}),
+// for TMPLAROptions.SLOs / tmplard's -slo-config flag.
+func LoadSLOConfig(path string) ([]SLOSpec, error) { return slo.LoadFile(path) }
 
 // --- Custom planner support -----------------------------------------------------
 

@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 # bench-compare inputs: the stored baseline and the report to vet against it.
-BENCH_OLD ?= BENCH_5.json
+BENCH_OLD ?= BENCH_6.json
 BENCH_NEW ?= $(BENCH_OUT)
 BENCH_THRESHOLD ?= 15
 
@@ -26,11 +26,12 @@ race:
 # race-exec focuses the detector on the parallel experiment executor, the
 # simulator it fans out over, the lock-free trace ring they emit into, the
 # metrics sampler/SSE fan-out, the SLO burn-rate engine, the async job
-# queue, the resource-budget accounting, the model registry, and the
+# queue, the resource-budget accounting, the model registry, the
 # data-parallel training stack (neural/linreg worker pools, flat sample
-# tensors) — the packages with real concurrency.
+# tensors), and the continuous profiler's capture ring — the packages with
+# real concurrency.
 race-exec:
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/... ./internal/obs/... ./internal/slo/... ./internal/jobs/... ./internal/limits/... ./internal/registry/... ./internal/neural/... ./internal/linreg/... ./internal/approx/... ./internal/tensor/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/... ./internal/obs/... ./internal/slo/... ./internal/jobs/... ./internal/limits/... ./internal/registry/... ./internal/neural/... ./internal/linreg/... ./internal/approx/... ./internal/tensor/... ./internal/prof/...
 
 # loadgen-smoke drives a short open-loop run (2s at 20 rps) against an
 # in-process tmplard and fails if any default SLO breaches.

@@ -8,6 +8,8 @@
 //	go test -bench=. -benchmem | benchjson -o BENCH.json
 //	benchjson -compare old.json new.json
 //	benchjson -compare -threshold 10 old.json new.json
+//	benchjson -profdiff old-capture.json new-capture.json
+//	benchjson -profdiff -kind heap -prof-threshold 3 old.pb.gz new.pb.gz
 //
 // Each "BenchmarkName-P  N  v1 unit1  v2 unit2 ..." line becomes one entry
 // with every reported metric keyed by its unit (ns/op, B/op, allocs/op and
@@ -17,6 +19,13 @@
 // benchmark present in both files it prints the ns/op and allocs/op deltas,
 // and exits nonzero when any ns/op regression exceeds -threshold percent —
 // a CI tripwire against silent performance drift.
+//
+// In -profdiff mode the command diffs two profiles: each side may be a raw
+// pprof protobuf (a /debug/prof ?format=raw download, a -cpuprofile file) or
+// a capture JSON (GET /debug/prof/{id}, experiments -profile-out). It prints
+// how every function's flat share shifted and exits nonzero when any
+// function grew by more than -prof-threshold percentage points — the same
+// tripwire, aimed at where the time went rather than how much.
 package main
 
 import (
@@ -48,11 +57,28 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("o", "", "output JSON file (required unless -compare)")
+	out := flag.String("o", "", "output JSON file (required unless -compare/-profdiff)")
 	compare := flag.Bool("compare", false, "compare two report files: benchjson -compare old.json new.json")
 	threshold := flag.Float64("threshold", 15, "with -compare, exit nonzero when any ns/op regression exceeds this percentage")
+	profDiff := flag.Bool("profdiff", false, "compare two profiles (raw pprof or capture JSON): benchjson -profdiff old new")
+	profKind := flag.String("kind", "cpu", "with -profdiff, which profile kind to compare: cpu, heap, goroutine, mutex, block")
+	profThreshold := flag.Float64("prof-threshold", 5, "with -profdiff, exit nonzero when any function's flat share grows by more than this many percentage points")
 	flag.Parse()
 
+	if *profDiff {
+		if flag.NArg() != 2 {
+			log.Fatal("benchjson: -profdiff wants exactly two arguments: old new")
+		}
+		regressions, err := runProfDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *profKind, *profThreshold)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d function(s) grew beyond %.0f flat-share points\n", regressions, *profThreshold)
+			os.Exit(1)
+		}
+		return
+	}
 	if *compare {
 		if flag.NArg() != 2 {
 			log.Fatal("benchjson: -compare wants exactly two arguments: old.json new.json")

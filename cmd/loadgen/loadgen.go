@@ -256,6 +256,17 @@ type Verdict struct {
 	Detail         string  `json:"detail,omitempty"`
 }
 
+// ServerRuntime is the server-side runtime snapshot scraped from /metrics
+// after the run — whether the process is healthy after the load, not just
+// fast during it. Values come from the server's sampler-maintained gauges,
+// so they reflect its most recent sample tick.
+type ServerRuntime struct {
+	HeapBytes  float64 `json:"heap_bytes"`
+	Goroutines float64 `json:"goroutines"`
+	GCPauseP99 float64 `json:"gc_pause_p99_seconds"`
+	GCCycles   float64 `json:"gc_cycles"`
+}
+
 // Report is the compliance report a run ends with.
 type Report struct {
 	Target          string            `json:"target"`
@@ -273,6 +284,7 @@ type Report struct {
 	LatencyP90      float64           `json:"latency_p90_seconds"`
 	LatencyP99      float64           `json:"latency_p99_seconds"`
 	ServerRequests  map[string]uint64 `json:"server_requests_by_route,omitempty"`
+	ServerRuntime   *ServerRuntime    `json:"server_runtime,omitempty"`
 	SLOs            []slo.Status      `json:"slos"`
 	Verdicts        []Verdict         `json:"verdicts"`
 	Pass            bool              `json:"pass"`
@@ -401,19 +413,25 @@ func (cfg *Config) fireJob(ctx context.Context, pr planRequest, rec *recorder) {
 	}
 }
 
-// scrapeServerRequests folds /metrics?format=json into per-route request
-// totals — the server-side view the client counts are reconciled against.
-func (cfg *Config) scrapeServerRequests(ctx context.Context) map[string]uint64 {
+// scrapeServer folds /metrics?format=json into per-route request totals —
+// the server-side view the client counts are reconciled against — and the
+// runtime gauges the server's sampler maintains (nil until its first tick).
+func (cfg *Config) scrapeServer(ctx context.Context) (map[string]uint64, *ServerRuntime) {
 	var snap struct {
 		Counters []struct {
 			Name   string            `json:"name"`
 			Value  uint64            `json:"value"`
 			Labels map[string]string `json:"labels"`
 		} `json:"counters"`
+		Gauges []struct {
+			Name   string            `json:"name"`
+			Value  float64           `json:"value"`
+			Labels map[string]string `json:"labels"`
+		} `json:"gauges"`
 	}
 	if err := cfg.getJSON(ctx, "/metrics?format=json", &snap); err != nil {
 		cfg.Logf("scrape /metrics: %v", err)
-		return nil
+		return nil, nil
 	}
 	byRoute := make(map[string]uint64)
 	for _, c := range snap.Counters {
@@ -421,7 +439,28 @@ func (cfg *Config) scrapeServerRequests(ctx context.Context) map[string]uint64 {
 			byRoute[c.Labels["endpoint"]] += c.Value
 		}
 	}
-	return byRoute
+	var rt *ServerRuntime
+	ensure := func() *ServerRuntime {
+		if rt == nil {
+			rt = &ServerRuntime{}
+		}
+		return rt
+	}
+	for _, g := range snap.Gauges {
+		switch g.Name {
+		case "go_heap_objects_bytes":
+			ensure().HeapBytes = g.Value
+		case "go_goroutines":
+			ensure().Goroutines = g.Value
+		case "go_gc_cycles_total":
+			ensure().GCCycles = g.Value
+		case "go_gc_pause_seconds":
+			if g.Labels["q"] == "0.99" {
+				ensure().GCPauseP99 = g.Value
+			}
+		}
+	}
+	return byRoute, rt
 }
 
 func stateLevel(s string) int {
@@ -542,7 +581,7 @@ loop:
 	rep.LatencyP50 = percentile(rec.latencies, 0.50)
 	rep.LatencyP90 = percentile(rec.latencies, 0.90)
 	rep.LatencyP99 = percentile(rec.latencies, 0.99)
-	rep.ServerRequests = cfg.scrapeServerRequests(ctx)
+	rep.ServerRequests, rep.ServerRuntime = cfg.scrapeServer(ctx)
 
 	rep.Pass = true
 	fail := func(format string, args ...any) {

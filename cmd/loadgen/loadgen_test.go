@@ -39,14 +39,20 @@ func newTestServer(t *testing.T, opts tmplar.Options) string {
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
 	go s.Sampler().Run(ctx)
+	go s.Profiler().Run(ctx) // nil-safe no-op unless opts enable profiling
 	return ts.URL
 }
 
 // TestSmoke is the CI smoke stage: a short open-loop run against a healthy
 // in-process tmplard must complete real missions over both planes and pass
-// every default SLO.
+// every default SLO. The continuous profiler runs throughout, so the pass
+// also bounds profiling overhead: captures every 500ms during the load must
+// not push any SLO past its objective.
 func TestSmoke(t *testing.T) {
-	url := newTestServer(t, tmplar.Options{})
+	url := newTestServer(t, tmplar.Options{
+		ProfileInterval: 500 * time.Millisecond,
+		ProfileWindow:   100 * time.Millisecond,
+	})
 	rep, err := Run(context.Background(), Config{
 		Target:       url,
 		Duration:     2 * time.Second,
@@ -92,6 +98,12 @@ func TestSmoke(t *testing.T) {
 	// The /metrics scrape reconciles: the server saw our plan traffic.
 	if rep.ServerRequests["/api/plan"] == 0 {
 		t.Errorf("server request scrape missing /api/plan: %v", rep.ServerRequests)
+	}
+	// The runtime scrape captured the server's post-load health gauges.
+	if rt := rep.ServerRuntime; rt == nil {
+		t.Error("report lacks server_runtime")
+	} else if rt.HeapBytes <= 0 || rt.Goroutines <= 0 {
+		t.Errorf("implausible server runtime: %+v", rt)
 	}
 	// The report round-trips as JSON for machine consumers.
 	b, err := json.Marshal(rep)

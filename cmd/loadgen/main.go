@@ -12,8 +12,9 @@
 //
 // After the load window the generator scrapes GET /metrics?format=json and
 // GET /debug/slo, folds the server-side SLO states into a compliance report
-// (achieved RPS, client-observed p50/p90/p99, error budget consumed, one
-// verdict per required SLO), prints the report as JSON on stdout, and exits:
+// (achieved RPS, client-observed p50/p90/p99, server runtime health — heap
+// bytes, goroutines, GC pause p99 —, error budget consumed, one verdict per
+// required SLO), prints the report as JSON on stdout, and exits:
 //
 //	0  every required SLO below the -fail-on level
 //	1  compliance failure (report says why, including exemplar trace IDs)
@@ -120,6 +121,11 @@ func main() {
 		time.Duration(rep.LatencyP50*float64(time.Second)),
 		time.Duration(rep.LatencyP90*float64(time.Second)),
 		time.Duration(rep.LatencyP99*float64(time.Second)))
+	if rt := rep.ServerRuntime; rt != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: server runtime: heap %.1f MiB, %d goroutines, gc pause p99 %s (%d cycles)\n",
+			rt.HeapBytes/(1<<20), int(rt.Goroutines),
+			time.Duration(rt.GCPauseP99*float64(time.Second)), int(rt.GCCycles))
+	}
 	for _, v := range rep.Verdicts {
 		mark := "PASS"
 		if !v.Pass {

@@ -16,6 +16,8 @@
 //	GET  /metrics               metrics (Prometheus text; ?format=json for JSON)
 //	GET  /debug/traces          recent request traces (ring buffer, JSON; ?limit= / ?name= filters)
 //	GET  /debug/slo             evaluated SLO burn-rate report (JSON; see -slo-config)
+//	GET  /debug/prof            continuous-profiling captures (JSON; see -profile-interval)
+//	GET  /debug/prof/{id}       one capture's hot-function tables (?format=raw&kind= downloads pprof)
 //	GET  /debug/dash            self-contained live dashboard (HTML, no external assets)
 //	GET  /debug/metrics/stream  time-series samples over SSE (feeds the dashboard)
 //	GET  /api/grids             registered grids (name-sorted)
@@ -100,6 +102,8 @@ func main() {
 		sloConfig   = flag.String("slo-config", "", "SLO spec JSON file ({\"slos\": [...]}); empty = compiled-in defaults, \"none\" disables evaluation")
 		mutexFrac   = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction for the -pprof mutex profile (0 = off)")
 		blockRate   = flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate in ns for the -pprof block profile (0 = off)")
+		profEvery   = flag.Duration("profile-interval", 0, "continuous profiler: scheduled capture interval feeding /debug/prof (0 = disabled)")
+		profWindow  = flag.Duration("profile-window", 5*time.Second, "continuous profiler: CPU sampling window per capture")
 		version     = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
@@ -147,24 +151,26 @@ func main() {
 
 	logger.Info("initializing Approx-MaMoRL model", "seed", *seed, "model_dir", *modelDir)
 	srv, err := mamorl.NewTMPLARServerOpts(*seed, mamorl.TMPLAROptions{
-		PlanTimeout:    *planTimeout,
-		MaxGridBytes:   *maxGrid,
-		MaxPlanBytes:   *maxPlan,
-		TraceBuffer:    *traceBuf,
-		Logger:         reqLogger,
-		SampleInterval: *sampleEvery,
-		ModelDir:       *modelDir,
-		TrainWorkers:   *trainWork,
-		JobWorkers:     *jobWorkers,
-		JobQueueDepth:  *jobQueue,
-		JobTimeout:     *jobTimeout,
-		JobRetention:   *jobRetain,
-		JobMaxRecords:  *jobRecords,
-		MaxNodes:       *maxNodes,
-		MaxSamples:     *maxSamples,
-		MaxBytes:       *maxBytes,
-		SSEKeepAlive:   *sseKeep,
-		SLOs:           sloSpecs,
+		PlanTimeout:     *planTimeout,
+		MaxGridBytes:    *maxGrid,
+		MaxPlanBytes:    *maxPlan,
+		TraceBuffer:     *traceBuf,
+		Logger:          reqLogger,
+		SampleInterval:  *sampleEvery,
+		ModelDir:        *modelDir,
+		TrainWorkers:    *trainWork,
+		JobWorkers:      *jobWorkers,
+		JobQueueDepth:   *jobQueue,
+		JobTimeout:      *jobTimeout,
+		JobRetention:    *jobRetain,
+		JobMaxRecords:   *jobRecords,
+		MaxNodes:        *maxNodes,
+		MaxSamples:      *maxSamples,
+		MaxBytes:        *maxBytes,
+		SSEKeepAlive:    *sseKeep,
+		SLOs:            sloSpecs,
+		ProfileInterval: *profEvery,
+		ProfileWindow:   *profWindow,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -240,6 +246,15 @@ func main() {
 	// Tick the time-series sampler so /debug/dash and /debug/metrics/stream
 	// are live; it stops with the signal context during shutdown.
 	go srv.Sampler().Run(ctx)
+
+	// Scheduled profile captures for /debug/prof run until shutdown. Run is
+	// nil-safe, so this is a no-op when -profile-interval is 0; SLO-breach
+	// captures need no runner either way.
+	if srv.Profiler().Enabled() {
+		logger.Info("continuous profiler enabled",
+			"interval", *profEvery, "window", srv.Profiler().Window())
+	}
+	go srv.Profiler().Run(ctx)
 
 	errc := make(chan error, 1)
 	go func() {

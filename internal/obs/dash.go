@@ -80,8 +80,18 @@ func DashHandler(streamPath string) http.Handler {
 // budget consumed, and — when an objective knows its most recent violating
 // request — a link into /debug/traces for that exemplar's trace ID.
 func DashHandlerOpts(streamPath, sloPath string) http.Handler {
+	return DashHandlerFull(streamPath, sloPath, "")
+}
+
+// DashHandlerFull is DashHandlerOpts plus an optional continuous-profiler
+// endpoint (tmplar's /debug/prof). When profPath is non-empty the page polls
+// the capture list and renders a hot-functions panel from the newest
+// finished capture's CPU table (falling back to heap when the CPU window
+// caught no samples), linking each capture to its full table.
+func DashHandlerFull(streamPath, sloPath, profPath string) http.Handler {
 	page := strings.Replace(dashHTML, "__STREAM_PATH__", streamPath, 1)
 	page = strings.Replace(page, "__SLO_PATH__", sloPath, 1)
+	page = strings.Replace(page, "__PROF_PATH__", profPath, 1)
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		_, _ = w.Write([]byte(page))
@@ -119,6 +129,16 @@ const dashHTML = `<!doctype html>
   #slos th { color: #9aa4b2; font-size: 11px; font-weight: 500; }
   #slos .objective { color: #9aa4b2; }
   #slos a { color: #4f9cf9; text-decoration: none; }
+  #prof { margin-bottom: 12px; }
+  #prof table { border-collapse: collapse; width: 100%; background: #1b1f26;
+                border: 1px solid #2c323b; border-radius: 6px; }
+  #prof th, #prof td { text-align: left; padding: 4px 10px; border-bottom: 1px solid #2c323b; }
+  #prof th { color: #9aa4b2; font-size: 11px; font-weight: 500; }
+  #prof caption { text-align: left; color: #9aa4b2; font-size: 11px; padding: 5px 10px;
+                  background: #1b1f26; border: 1px solid #2c323b; border-bottom: none; }
+  #prof .fn { overflow-wrap: anywhere; }
+  #prof .num { text-align: right; }
+  #prof a { color: #4f9cf9; text-decoration: none; }
   .st { padding: 1px 7px; border-radius: 8px; font-size: 11px; }
   .st-ok { background: #143a1f; color: #5cb870; }
   .st-warn { background: #3d3314; color: #d6a545; }
@@ -132,6 +152,7 @@ const dashHTML = `<!doctype html>
   <input id="filter" type="search" placeholder="filter series (e.g. rate, heap, p99)">
 </header>
 <div id="slos"></div>
+<div id="prof"></div>
 <div id="tiles"></div>
 <script>
 "use strict";
@@ -234,6 +255,41 @@ async function pollSLOs() {
 }
 pollSLOs();
 setInterval(pollSLOs, 5000);
+
+// --- Hot functions panel (only when a continuous profiler is mounted) -----
+const PROF_PATH = "__PROF_PATH__";
+const profBox = document.getElementById("prof");
+async function pollProf() {
+  if (!PROF_PATH) return;
+  let list;
+  try {
+    list = await (await fetch(PROF_PATH)).json();
+  } catch (e) { return; }
+  if (!list.enabled) { profBox.innerHTML = ""; return; }
+  const done = (list.captures || []).find(c => c.state === "done");
+  if (!done) { profBox.innerHTML = ""; return; }
+  let cap;
+  try {
+    cap = await (await fetch(PROF_PATH + "/" + encodeURIComponent(done.id))).json();
+  } catch (e) { return; }
+  const tables = cap.tables || [];
+  // Prefer the CPU window; a quiet window with zero samples falls back to
+  // the heap snapshot, which a live process always populates.
+  let tab = tables.find(t => t.kind === "cpu" && t.samples > 0) ||
+            tables.find(t => t.kind === "heap" && t.samples > 0);
+  if (!tab || !(tab.funcs || []).length) { profBox.innerHTML = ""; return; }
+  const rows = tab.funcs.slice(0, 10).map(f =>
+    '<tr><td class="fn">' + esc(f.name) + '</td><td class="num">' + fmt(f.flat) +
+    '</td><td class="num">' + f.flat_pct.toFixed(1) + '%</td><td class="num">' +
+    f.cum_pct.toFixed(1) + "%</td></tr>").join("");
+  profBox.innerHTML = "<table><caption>hot functions &middot; " + esc(tab.kind) +
+    " (" + esc(tab.unit) + ') &middot; capture <a href="' + PROF_PATH + "/" +
+    encodeURIComponent(cap.id) + '">' + esc(cap.id) + "</a> &middot; " + esc(cap.reason) +
+    "</caption><tr><th>function</th><th>flat</th><th>flat%</th><th>cum%</th></tr>" +
+    rows + "</table>";
+}
+pollProf();
+setInterval(pollProf, 10000);
 </script>
 </body>
 </html>

@@ -1,0 +1,483 @@
+// Package prof is a stdlib-only continuous profiling plane.
+//
+// A Profiler takes periodic CPU profile windows plus heap/goroutine/mutex/
+// block snapshots, decodes the pprof protobuf in-process, and folds the
+// samples into bounded hot-function tables kept in a ring of captures. The
+// SLO engine triggers out-of-schedule captures on warn/breach transitions so
+// a burn always has an attached forensic snapshot.
+//
+// This file implements the decoder: a minimal gzip + varint/message parser
+// for the subset of profile.proto the aggregator needs (sample types,
+// samples, locations, lines, functions, the string table and period/duration
+// metadata). It depends on nothing outside the standard library.
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ValueType names one dimension of a profile's sample values.
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Sample is one stack sample: a location stack (leaf first) and one value
+// per sample type.
+type Sample struct {
+	LocationIDs []uint64
+	Values      []int64
+}
+
+// Location resolves one program address to the functions live there,
+// innermost first (multiple entries mean inlining).
+type Location struct {
+	ID          uint64
+	FunctionIDs []uint64
+}
+
+// Function is a named function referenced by locations.
+type Function struct {
+	ID   uint64
+	Name string
+}
+
+// Profile is the decoded subset of a pprof profile.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	Locations     map[uint64]*Location
+	Functions     map[uint64]*Function
+	TimeNanos     int64
+	DurationNanos int64
+	Period        int64
+	PeriodType    ValueType
+}
+
+var errTruncated = errors.New("prof: truncated profile")
+
+// Parse decodes a pprof profile, transparently gunzipping when the payload
+// carries the gzip magic (runtime/pprof always emits gzip).
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		data, err = io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+	}
+
+	// String-table indices can reference entries emitted later in the
+	// stream, so decode into index-carrying intermediates and resolve once
+	// the whole message has been walked.
+	type rawValueType struct{ typ, unit int64 }
+	type rawFunction struct {
+		id   uint64
+		name int64
+	}
+	var (
+		strtab      []string
+		sampleTypes []rawValueType
+		periodType  rawValueType
+		functions   []rawFunction
+	)
+	p := &Profile{
+		Locations: make(map[uint64]*Location),
+		Functions: make(map[uint64]*Function),
+	}
+
+	b := &pbuf{data: data}
+	for !b.done() {
+		field, wire, err := b.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // repeated ValueType sample_type
+			msg, err := b.lenField(wire)
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, rawValueType{vt[0], vt[1]})
+		case 2: // repeated Sample sample
+			msg, err := b.lenField(wire)
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(msg)
+			if err != nil {
+				return nil, err
+			}
+			p.Samples = append(p.Samples, s)
+		case 4: // repeated Location location
+			msg, err := b.lenField(wire)
+			if err != nil {
+				return nil, err
+			}
+			loc, err := parseLocation(msg)
+			if err != nil {
+				return nil, err
+			}
+			p.Locations[loc.ID] = loc
+		case 5: // repeated Function function
+			msg, err := b.lenField(wire)
+			if err != nil {
+				return nil, err
+			}
+			id, name, err := parseFunction(msg)
+			if err != nil {
+				return nil, err
+			}
+			functions = append(functions, rawFunction{id: id, name: name})
+		case 6: // repeated string string_table
+			msg, err := b.lenField(wire)
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(msg))
+		case 9: // int64 time_nanos
+			v, err := b.intField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.TimeNanos = v
+		case 10: // int64 duration_nanos
+			v, err := b.intField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.DurationNanos = v
+		case 11: // ValueType period_type
+			msg, err := b.lenField(wire)
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			periodType = rawValueType{vt[0], vt[1]}
+		case 12: // int64 period
+			v, err := b.intField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.Period = v
+		default:
+			if err := b.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i int64) string {
+		if i > 0 && int(i) < len(strtab) {
+			return strtab[i]
+		}
+		return ""
+	}
+	for _, vt := range sampleTypes {
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(vt.typ), Unit: str(vt.unit)})
+	}
+	p.PeriodType = ValueType{Type: str(periodType.typ), Unit: str(periodType.unit)}
+	for _, fn := range functions {
+		p.Functions[fn.id] = &Function{ID: fn.id, Name: str(fn.name)}
+	}
+	for _, s := range p.Samples {
+		if len(s.Values) != len(p.SampleTypes) {
+			return nil, fmt.Errorf("prof: sample has %d values for %d sample types", len(s.Values), len(p.SampleTypes))
+		}
+	}
+	return p, nil
+}
+
+// parseValueType returns the [type, unit] string-table indices.
+func parseValueType(msg []byte) ([2]int64, error) {
+	var out [2]int64
+	b := &pbuf{data: msg}
+	for !b.done() {
+		field, wire, err := b.tag()
+		if err != nil {
+			return out, err
+		}
+		switch field {
+		case 1, 2:
+			v, err := b.intField(wire)
+			if err != nil {
+				return out, err
+			}
+			out[field-1] = v
+		default:
+			if err := b.skip(wire); err != nil {
+				return out, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func parseSample(msg []byte) (Sample, error) {
+	var s Sample
+	b := &pbuf{data: msg}
+	for !b.done() {
+		field, wire, err := b.tag()
+		if err != nil {
+			return s, err
+		}
+		switch field {
+		case 1: // repeated uint64 location_id (possibly packed)
+			s.LocationIDs, err = appendUints(s.LocationIDs, b, wire)
+		case 2: // repeated int64 value (possibly packed)
+			s.Values, err = appendInts(s.Values, b, wire)
+		default:
+			err = b.skip(wire)
+		}
+		if err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func parseLocation(msg []byte) (*Location, error) {
+	loc := &Location{}
+	b := &pbuf{data: msg}
+	for !b.done() {
+		field, wire, err := b.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // uint64 id
+			v, err := b.intField(wire)
+			if err != nil {
+				return nil, err
+			}
+			loc.ID = uint64(v)
+		case 4: // repeated Line line
+			msg, err := b.lenField(wire)
+			if err != nil {
+				return nil, err
+			}
+			fnID, err := parseLine(msg)
+			if err != nil {
+				return nil, err
+			}
+			loc.FunctionIDs = append(loc.FunctionIDs, fnID)
+		default:
+			if err := b.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return loc, nil
+}
+
+// parseLine returns the line's function_id.
+func parseLine(msg []byte) (uint64, error) {
+	var fnID uint64
+	b := &pbuf{data: msg}
+	for !b.done() {
+		field, wire, err := b.tag()
+		if err != nil {
+			return 0, err
+		}
+		if field == 1 {
+			v, err := b.intField(wire)
+			if err != nil {
+				return 0, err
+			}
+			fnID = uint64(v)
+			continue
+		}
+		if err := b.skip(wire); err != nil {
+			return 0, err
+		}
+	}
+	return fnID, nil
+}
+
+// parseFunction returns the function's id and the string-table index of its
+// name.
+func parseFunction(msg []byte) (id uint64, name int64, err error) {
+	b := &pbuf{data: msg}
+	for !b.done() {
+		field, wire, err := b.tag()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch field {
+		case 1:
+			v, err := b.intField(wire)
+			if err != nil {
+				return 0, 0, err
+			}
+			id = uint64(v)
+		case 2:
+			v, err := b.intField(wire)
+			if err != nil {
+				return 0, 0, err
+			}
+			name = v
+		default:
+			if err := b.skip(wire); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return id, name, nil
+}
+
+// pbuf is a cursor over raw protobuf bytes.
+type pbuf struct {
+	data []byte
+	pos  int
+}
+
+func (b *pbuf) done() bool { return b.pos >= len(b.data) }
+
+func (b *pbuf) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if b.pos >= len(b.data) {
+			return 0, errTruncated
+		}
+		c := b.data[b.pos]
+		b.pos++
+		if shift == 63 && c > 1 {
+			return 0, errors.New("prof: varint overflows uint64")
+		}
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, errors.New("prof: varint overflows uint64")
+		}
+	}
+}
+
+func (b *pbuf) tag() (field, wire int, err error) {
+	v, err := b.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+// lenField reads a length-delimited payload; any other wire type is an
+// encoding error for the fields we route here.
+func (b *pbuf) lenField(wire int) ([]byte, error) {
+	if wire != 2 {
+		return nil, fmt.Errorf("prof: expected length-delimited field, got wire type %d", wire)
+	}
+	n, err := b.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(b.data)-b.pos) {
+		return nil, errTruncated
+	}
+	out := b.data[b.pos : b.pos+int(n)]
+	b.pos += int(n)
+	return out, nil
+}
+
+// skip discards one field of the given wire type.
+func (b *pbuf) skip(wire int) error {
+	switch wire {
+	case 0: // varint
+		_, err := b.varint()
+		return err
+	case 1: // fixed64
+		if len(b.data)-b.pos < 8 {
+			return errTruncated
+		}
+		b.pos += 8
+		return nil
+	case 2: // length-delimited
+		_, err := b.lenField(wire)
+		return err
+	case 5: // fixed32
+		if len(b.data)-b.pos < 4 {
+			return errTruncated
+		}
+		b.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("prof: unsupported wire type %d", wire)
+	}
+}
+
+// intField reads a scalar int64/uint64 field encoded as a varint.
+func (b *pbuf) intField(wire int) (int64, error) {
+	if wire != 0 {
+		return 0, fmt.Errorf("prof: expected varint field, got wire type %d", wire)
+	}
+	v, err := b.varint()
+	return int64(v), err
+}
+
+// appendUints consumes one occurrence of a repeated integer field, which the
+// encoder may emit packed (wire type 2) or one element at a time (wire 0).
+func appendUints(dst []uint64, b *pbuf, wire int) ([]uint64, error) {
+	if wire == 0 {
+		v, err := b.varint()
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, v), nil
+	}
+	raw, err := b.lenField(wire)
+	if err != nil {
+		return dst, err
+	}
+	inner := &pbuf{data: raw}
+	for !inner.done() {
+		v, err := inner.varint()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+func appendInts(dst []int64, b *pbuf, wire int) ([]int64, error) {
+	if wire == 0 {
+		v, err := b.varint()
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, int64(v)), nil
+	}
+	raw, err := b.lenField(wire)
+	if err != nil {
+		return dst, err
+	}
+	inner := &pbuf{data: raw}
+	for !inner.done() {
+		v, err := inner.varint()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, int64(v))
+	}
+	return dst, nil
+}

@@ -1,0 +1,65 @@
+package prof
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// ListResponse is the GET /debug/prof body.
+type ListResponse struct {
+	Enabled  bool             `json:"enabled"`
+	Captures []CaptureSummary `json:"captures"`
+}
+
+// ListHandler serves the capture list. On a disabled (nil) profiler it
+// serves {"enabled":false,"captures":[]} rather than erroring, so dashboards
+// can probe it unconditionally.
+func (p *Profiler) ListHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp := ListResponse{Enabled: p.Enabled(), Captures: p.Snapshot()}
+		if resp.Captures == nil {
+			resp.Captures = []CaptureSummary{}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}
+
+// GetHandler serves one capture by {id} path value: the aggregated
+// hot-function tables as JSON, or with ?kind=cpu&format=raw the retained raw
+// gzipped pprof payload for `go tool pprof`.
+func (p *Profiler) GetHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !p.Enabled() {
+			http.Error(w, `{"error":"profiler disabled"}`, http.StatusNotFound)
+			return
+		}
+		id := r.PathValue("id")
+		if r.URL.Query().Get("format") == "raw" {
+			kind := r.URL.Query().Get("kind")
+			if kind == "" {
+				kind = "cpu"
+			}
+			raw, ok := p.Raw(id, kind)
+			if !ok {
+				http.Error(w, `{"error":"no raw profile retained"}`, http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="`+id+`-`+kind+`.pb.gz"`)
+			_, _ = w.Write(raw)
+			return
+		}
+		c, ok := p.Get(id)
+		if !ok {
+			http.Error(w, `{"error":"unknown capture"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c)
+	})
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package prof
+
+// raceEnabled mirrors the race detector build tag: the detector inflates
+// allocation counts, which the disabled-profiler alloc regression test pins.
+const raceEnabled = false

@@ -54,6 +54,21 @@ type EngineOptions struct {
 	// Capacity bounds the per-SLO ring of measurement points. <= 0 selects
 	// enough for the longest window at a 2s tick, capped at 4096.
 	Capacity int
+	// OnTransition, when set, observes every state transition and may
+	// return a forensic capture ID to attach to it (span attr, log record,
+	// and the capture_id field in /debug/slo). tmplar wires this to the
+	// continuous profiler so a warn/breach escalation snapshots the CPU and
+	// heap state that caused it. Called with the engine lock held, from
+	// Tick: it must be fast and must not call back into the engine.
+	OnTransition func(Transition) (captureID string)
+}
+
+// Transition describes one SLO state change handed to OnTransition.
+type Transition struct {
+	SLO       string
+	From, To  State
+	ShortBurn float64
+	LongBurn  float64
 }
 
 // point is one cumulative measurement: good/total event counts observed at
@@ -77,6 +92,7 @@ type sloState struct {
 	good      float64       // delta over spec.Window
 	total     float64       // delta over spec.Window
 	exemplar  *obs.Exemplar // offending request, when one is known
+	captureID string        // forensic profile capture from the last transition
 }
 
 // push appends a point, evicting the oldest when full.
@@ -160,10 +176,11 @@ func nextState(cur State, short, long float64, sp Spec) State {
 // Drive it by adding Tick to the obs.Sampler's OnTick hooks (tmplard does
 // this), or call Tick directly under a fake clock in tests.
 type Engine struct {
-	reg    *obs.Registry
-	logger *slog.Logger
-	tracer *trace.Tracer
-	now    func() time.Time
+	reg          *obs.Registry
+	logger       *slog.Logger
+	tracer       *trace.Tracer
+	now          func() time.Time
+	onTransition func(Transition) string
 
 	mu   sync.Mutex
 	slos []*sloState
@@ -176,10 +193,11 @@ func NewEngine(opts EngineOptions) *Engine {
 		opts.Now = time.Now
 	}
 	e := &Engine{
-		reg:    opts.Registry,
-		logger: opts.Logger,
-		tracer: opts.Tracer,
-		now:    opts.Now,
+		reg:          opts.Registry,
+		logger:       opts.Logger,
+		tracer:       opts.Tracer,
+		now:          opts.Now,
+		onTransition: opts.OnTransition,
 	}
 	capacity := opts.Capacity
 	if capacity <= 0 {
@@ -351,10 +369,23 @@ func (e *Engine) Tick() {
 }
 
 // emitTransition records one state change in the transition counter, the
-// log, and the trace ring. Called with the engine lock held.
+// log, and the trace ring, and hands it to the OnTransition hook, whose
+// returned capture ID (a profiler forensic snapshot) sticks to the objective
+// until the next transition. Called with the engine lock held.
 func (e *Engine) emitTransition(st *sloState, next State) {
 	e.reg.Counter("slo_transitions_total",
 		"slo", st.spec.Name, "from", st.state.String(), "to", next.String()).Inc()
+	if e.onTransition != nil {
+		if id := e.onTransition(Transition{
+			SLO:       st.spec.Name,
+			From:      st.state,
+			To:        next,
+			ShortBurn: st.shortBurn,
+			LongBurn:  st.longBurn,
+		}); id != "" {
+			st.captureID = id
+		}
+	}
 	if e.logger != nil {
 		level := slog.LevelInfo
 		switch next {
@@ -371,6 +402,9 @@ func (e *Engine) emitTransition(st *sloState, next State) {
 		if st.exemplar != nil {
 			attrs = append(attrs, "exemplar_trace", st.exemplar.TraceID)
 		}
+		if st.captureID != "" {
+			attrs = append(attrs, "capture_id", st.captureID)
+		}
 		e.logger.Log(context.Background(), level, "slo transition", attrs...)
 	}
 	if e.tracer.Enabled() {
@@ -382,6 +416,9 @@ func (e *Engine) emitTransition(st *sloState, next State) {
 			trace.Float("long_burn", st.longBurn))
 		if st.exemplar != nil {
 			sp.SetAttrs(trace.String("exemplar_trace", st.exemplar.TraceID))
+		}
+		if st.captureID != "" {
+			sp.SetAttrs(trace.String("capture_id", st.captureID))
 		}
 		sp.End()
 	}
@@ -402,6 +439,9 @@ type Status struct {
 	Total       float64       `json:"total"`
 	BudgetUsed  float64       `json:"budget_consumed"`
 	Exemplar    *obs.Exemplar `json:"exemplar,omitempty"`
+	// CaptureID names the forensic profile capture taken at this SLO's last
+	// state transition; resolve it at /debug/prof/{id}.
+	CaptureID string `json:"capture_id,omitempty"`
 }
 
 // Report is the full evaluation snapshot: every objective in spec order.
@@ -467,6 +507,7 @@ func (e *Engine) Report() Report {
 			Total:       st.total,
 			BudgetUsed:  st.consumed,
 			Exemplar:    ex,
+			CaptureID:   st.captureID,
 		})
 	}
 	return r

@@ -277,3 +277,70 @@ func TestNilEngine(t *testing.T) {
 		t.Error("nil engine states non-nil")
 	}
 }
+
+// TestOnTransitionCaptureID drives the same transition cycle with an
+// OnTransition hook wired and checks the returned capture ID sticks to the
+// objective — in the report, and across later no-transition ticks — and that
+// the hook observes the right edges.
+func TestOnTransitionCaptureID(t *testing.T) {
+	reg := obs.New()
+	clock := newFakeClock()
+	total := reg.Counter("req_total")
+	bad := reg.Counter("req_errors")
+
+	var seen []Transition
+	e := NewEngine(EngineOptions{
+		Registry: reg,
+		Specs:    []Spec{availSpec(t)},
+		Now:      clock.now,
+		OnTransition: func(tr Transition) string {
+			seen = append(seen, tr)
+			if tr.To > tr.From && tr.To >= StateWarn {
+				return "c000042"
+			}
+			return "" // recovery edges keep the previous forensic capture
+		},
+	})
+
+	step := func(addTotal, addBad uint64) {
+		t.Helper()
+		clock.advance(5 * time.Second)
+		total.Add(addTotal)
+		bad.Add(addBad)
+		e.Tick()
+	}
+	step(100, 0) // ok
+	step(100, 50)
+	if s := e.Report().SLOs[0]; s.State != "warn" || s.CaptureID != "c000042" {
+		t.Fatalf("after escalation: state=%s capture_id=%q", s.State, s.CaptureID)
+	}
+	if len(seen) != 1 || seen[0].SLO != "avail" || seen[0].From != StateOK || seen[0].To != StateWarn {
+		t.Fatalf("hook saw %+v", seen)
+	}
+	if seen[0].ShortBurn <= 0 {
+		t.Fatalf("hook transition burns not populated: %+v", seen[0])
+	}
+
+	// No transition on a steady tick: hook not called, capture ID retained.
+	step(100, 50)
+	if len(seen) != 1 {
+		t.Fatalf("hook called without a transition: %+v", seen)
+	}
+	if s := e.Report().SLOs[0]; s.CaptureID != "c000042" {
+		t.Fatalf("capture_id dropped on steady tick: %q", s.CaptureID)
+	}
+
+	// Recovery edge: hook sees it, returns "", previous capture ID sticks.
+	step(100, 0)
+	step(100, 0)
+	r := e.Report().SLOs[0]
+	if r.State != "ok" {
+		t.Fatalf("state = %s, want ok", r.State)
+	}
+	if r.CaptureID != "c000042" {
+		t.Fatalf("capture_id after recovery = %q, want retained c000042", r.CaptureID)
+	}
+	if last := seen[len(seen)-1]; last.From != StateWarn || last.To != StateOK {
+		t.Fatalf("hook saw %+v", seen)
+	}
+}

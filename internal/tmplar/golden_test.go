@@ -1,0 +1,210 @@
+package tmplar
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsShapeGolden pins the JSON shape of GET /metrics?format=json.
+// The server is dedicated (not the shared fixture) so the driven traffic —
+// one successful plan, one 404 plan, a manual profile capture, and a sampler
+// tick — deterministically populates every snapshot section: counters,
+// runtime gauges, and histograms with exemplars.
+func TestMetricsShapeGolden(t *testing.T) {
+	s, err := NewServerOpts(17, Options{
+		ProfileInterval: time.Hour,
+		ProfileWindow:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g, ok := server(t).lookupGrid("ops-area")
+	if !ok {
+		t.Fatal("ops-area missing from shared server")
+	}
+	s.InstallGrid(g)
+	h := s.Handler()
+
+	if rec := do(t, h, "POST", "/api/plan", opsPlanRequest()); rec.Code != http.StatusOK {
+		t.Fatalf("plan: %d %s", rec.Code, rec.Body.String())
+	}
+	bad := opsPlanRequest()
+	bad.Grid = "no-such-grid"
+	if rec := do(t, h, "POST", "/api/plan", bad); rec.Code != http.StatusNotFound {
+		t.Fatalf("bad plan: %d, want 404", rec.Code)
+	}
+	s.Profiler().CaptureNow(context.Background(), "manual")
+	s.Sampler().Tick()
+
+	rec := do(t, h, "GET", "/metrics?format=json", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	checkShape(t, "metrics", rec.Body.Bytes())
+}
+
+// TestSLOShapeGolden pins the JSON shape of GET /debug/slo after an induced
+// breach on a profiler-enabled server, so the golden covers the optional
+// fields too: the breach exemplar and the forensic capture_id.
+func TestSLOShapeGolden(t *testing.T) {
+	s, err := NewServerOpts(17, Options{
+		PlanTimeout:     time.Nanosecond,
+		ProfileInterval: time.Hour,
+		ProfileWindow:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g, ok := server(t).lookupGrid("ops-area")
+	if !ok {
+		t.Fatal("ops-area missing from shared server")
+	}
+	s.InstallGrid(g)
+	h := s.Handler()
+
+	for i := 0; i < 5; i++ {
+		if rec := do(t, h, "POST", "/api/plan", opsPlanRequest()); rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("plan %d: code %d, want 503", i, rec.Code)
+		}
+	}
+	s.Sampler().Tick()
+
+	rec := do(t, h, "GET", "/debug/slo", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug/slo: %d", rec.Code)
+	}
+	// The breached objective must carry both optional fields so the golden
+	// records them; guard explicitly rather than silently pinning a thinner
+	// shape.
+	var report struct {
+		SLOs []struct {
+			Name      string `json:"name"`
+			Exemplar  any    `json:"exemplar"`
+			CaptureID string `json:"capture_id"`
+		} `json:"slos"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, st := range report.SLOs {
+		if st.Name == "plan-availability" {
+			seen = true
+			if st.Exemplar == nil || st.CaptureID == "" {
+				t.Fatalf("breached SLO missing exemplar/capture_id: %s", rec.Body.String())
+			}
+		}
+	}
+	if !seen {
+		t.Fatalf("no plan-availability SLO in report: %s", rec.Body.String())
+	}
+	checkShape(t, "slo_report", rec.Body.Bytes())
+}
+
+// checkShape reduces a JSON payload to its type skeleton and compares it to
+// testdata/<name>.shape.json. (Deliberately mirrors the helper in
+// internal/prof's tests; test code can't be imported across packages.)
+func checkShape(t *testing.T, name string, body []byte) {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	shape, err := json.MarshalIndent(shapeOf(v), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape = append(shape, '\n')
+	path := filepath.Join("testdata", name+".shape.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, shape, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if string(want) != string(shape) {
+		t.Errorf("%s JSON shape changed.\n got: %s\nwant: %s\nRun `go test ./internal/tmplar -run ShapeGolden -update` if intentional.", name, shape, want)
+	}
+}
+
+// shapeOf reduces decoded JSON to a type skeleton: objects keep their keys,
+// arrays collapse to one merged element shape, scalars become their type
+// name. Dynamic values (ids, timestamps, burn rates) therefore don't churn
+// the golden.
+func shapeOf(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, vv := range x {
+			out[k] = shapeOf(vv)
+		}
+		return out
+	case []any:
+		var merged any = "empty"
+		for _, e := range x {
+			merged = mergeShape(merged, shapeOf(e))
+		}
+		return []any{merged}
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "bool"
+	case nil:
+		return "null"
+	default:
+		return "unknown"
+	}
+}
+
+// mergeShape unions two element shapes; null/empty defer to the other side,
+// and irreconcilable scalars collapse to "mixed".
+func mergeShape(a, b any) any {
+	if a == "empty" || a == "null" {
+		return b
+	}
+	if b == "empty" || b == "null" {
+		return a
+	}
+	if am, ok := a.(map[string]any); ok {
+		if bm, ok := b.(map[string]any); ok {
+			for k, bv := range bm {
+				if av, exists := am[k]; exists {
+					am[k] = mergeShape(av, bv)
+				} else {
+					am[k] = bv
+				}
+			}
+			return am
+		}
+	}
+	if aa, ok := a.([]any); ok {
+		if bb, ok := b.([]any); ok && len(aa) == 1 && len(bb) == 1 {
+			return []any{mergeShape(aa[0], bb[0])}
+		}
+	}
+	if sa, ok := a.(string); ok {
+		if sb, ok := b.(string); ok && sa == sb {
+			return sa
+		}
+	}
+	return "mixed"
+}

@@ -1,0 +1,159 @@
+package tmplar
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/routeplanning/mamorl/internal/prof"
+	"github.com/routeplanning/mamorl/internal/slo"
+)
+
+// TestBreachTriggersProfileCapture is the profiling acceptance scenario: an
+// induced SLO breach automatically produces a forensic profile capture whose
+// ID is resolvable through /debug/slo → /debug/prof/{id}, returning a
+// non-empty hot-function table.
+func TestBreachTriggersProfileCapture(t *testing.T) {
+	s, err := NewServerOpts(17, Options{
+		PlanTimeout:     time.Nanosecond, // every plan 503s
+		ProfileInterval: time.Hour,       // schedule quiet; only the breach triggers
+		ProfileWindow:   50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.Profiler().Enabled() {
+		t.Fatal("profiler not built despite ProfileInterval")
+	}
+	g, ok := server(t).lookupGrid("ops-area")
+	if !ok {
+		t.Fatal("ops-area missing from shared server")
+	}
+	s.InstallGrid(g)
+	h := s.Handler()
+
+	for i := 0; i < 5; i++ {
+		if rec := do(t, h, "POST", "/api/plan", opsPlanRequest()); rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("plan %d: code %d, want 503", i, rec.Code)
+		}
+	}
+	s.Sampler().Tick()
+
+	// The breached objective carries the capture ID in /debug/slo.
+	rec := do(t, h, "GET", "/debug/slo", nil)
+	var report slo.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &report); err != nil {
+		t.Fatalf("decode report: %v (%s)", err, rec.Body.String())
+	}
+	captureID := ""
+	for _, st := range report.SLOs {
+		if st.Name == "plan-availability" {
+			if st.State != "breach" {
+				t.Fatalf("plan-availability = %q, want breach", st.State)
+			}
+			captureID = st.CaptureID
+		}
+	}
+	if captureID == "" {
+		t.Fatalf("breached SLO carries no capture_id: %s", rec.Body.String())
+	}
+
+	// The capture collects in the background; wait for the window to close.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, ok := s.Profiler().Get(captureID)
+		if ok && c.State != "pending" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("capture %q never finished (ok=%v)", captureID, ok)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The ID resolves over HTTP with a non-empty hot-function table.
+	rec = do(t, h, "GET", "/debug/prof/"+captureID, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/prof/%s: %d %s", captureID, rec.Code, rec.Body.String())
+	}
+	var c prof.Capture
+	if err := json.Unmarshal(rec.Body.Bytes(), &c); err != nil {
+		t.Fatalf("decode capture: %v", err)
+	}
+	if c.State != "done" {
+		t.Fatalf("capture state = %q (%+v)", c.State, c)
+	}
+	if c.Reason != "slo:plan-availability:breach" {
+		t.Fatalf("capture reason = %q", c.Reason)
+	}
+	nonEmpty := 0
+	for _, tab := range c.Tables {
+		if tab.Total > 0 && len(tab.Funcs) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatalf("no non-empty hot-function table in capture: %+v", c.Tables)
+	}
+
+	// The capture also appears in the /debug/prof listing.
+	rec = do(t, h, "GET", "/debug/prof", nil)
+	var list prof.ListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	if !list.Enabled {
+		t.Fatal("listing reports profiler disabled")
+	}
+	found := false
+	for _, cs := range list.Captures {
+		if cs.ID == captureID {
+			found = true
+			if len(cs.Profiles) == 0 {
+				t.Fatalf("listing entry has no profile summaries: %+v", cs)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("capture %s not in listing: %+v", captureID, list.Captures)
+	}
+
+	// Raw download works for go tool pprof.
+	rec = do(t, h, "GET", "/debug/prof/"+captureID+"?format=raw&kind=heap", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("raw download: %d", rec.Code)
+	}
+	if b := rec.Body.Bytes(); len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Fatalf("raw download is not gzipped pprof")
+	}
+
+	// prof_captures_total counts the slo trigger.
+	if got := s.Metrics().CounterValue("prof_captures_total", "trigger", "slo"); got == 0 {
+		t.Error("prof_captures_total{trigger=slo} = 0")
+	}
+}
+
+// TestProfilerDisabledByDefault: without ProfileInterval the profiler is nil
+// and /debug/prof still answers (enabled=false), so dashboards can probe it.
+func TestProfilerDisabledByDefault(t *testing.T) {
+	s := server(t)
+	if s.Profiler() != nil {
+		t.Fatal("profiler built without ProfileInterval")
+	}
+	rec := do(t, s.Handler(), "GET", "/debug/prof", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/prof: %d", rec.Code)
+	}
+	var list prof.ListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Enabled || len(list.Captures) != 0 {
+		t.Fatalf("disabled listing = %+v", list)
+	}
+	if rec := do(t, s.Handler(), "GET", "/debug/prof/c000001", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("disabled get: %d, want 404", rec.Code)
+	}
+}

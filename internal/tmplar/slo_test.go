@@ -3,6 +3,7 @@ package tmplar
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -24,6 +25,10 @@ func TestRouteLabel(t *testing.T) {
 		"/api/jobs/a/events/extra":   "other",
 		"/debug/slo":                 "/debug/slo",
 		"/debug/traces":              "/debug/traces",
+		"/debug/prof":                "/debug/prof",
+		"/debug/prof/c000007":        "/debug/prof/{id}",
+		"/debug/prof/":               "other",
+		"/debug/prof/a/b":            "other",
 		"/boom":                      "other",
 		"/api/plan/":                 "other",
 		"/../../etc/passwd":          "other",
@@ -201,5 +206,33 @@ func TestTracesQueryFilters(t *testing.T) {
 	if bad := do(t, h, "GET", "/debug/traces?name=no-such-span-name", nil); bad.Code != http.StatusOK ||
 		strings.TrimSpace(bad.Body.String()) != "[]" {
 		t.Errorf("unmatched name should answer an empty list, got %d %s", bad.Code, bad.Body.String())
+	}
+
+	// ?since= keeps spans that started at or after the instant: everything
+	// from the epoch, nothing from the far future, and it composes with
+	// ?name= so forensics can scope one span kind to a capture window.
+	all := do(t, h, "GET", "/debug/traces?since=0", nil)
+	spans = nil
+	if err := json.Unmarshal(all.Body.Bytes(), &spans); err != nil || len(spans) == 0 {
+		t.Fatalf("?since=0 = %d spans (err %v)", len(spans), err)
+	}
+	future := time.Now().Add(time.Hour).UnixNano()
+	none := do(t, h, "GET", "/debug/traces?since="+strconv.FormatInt(future, 10), nil)
+	spans = nil
+	if err := json.Unmarshal(none.Body.Bytes(), &spans); err != nil || len(spans) != 0 {
+		t.Fatalf("future ?since= returned %d spans (err %v): %s", len(spans), err, none.Body.String())
+	}
+	combined := do(t, h, "GET", "/debug/traces?name=request&since=0&limit=2", nil)
+	spans = nil
+	if err := json.Unmarshal(combined.Body.Bytes(), &spans); err != nil || len(spans) == 0 {
+		t.Fatalf("?name=request&since=0 matched nothing: %v %s", err, combined.Body.String())
+	}
+	for _, sp := range spans {
+		if sp.Name != "request" {
+			t.Fatalf("combined filter returned foreign span %+v", sp)
+		}
+	}
+	if bad := do(t, h, "GET", "/debug/traces?since=yesterday", nil); bad.Code != http.StatusBadRequest {
+		t.Errorf("malformed since: code %d, want 400", bad.Code)
 	}
 }

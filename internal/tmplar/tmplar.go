@@ -33,6 +33,7 @@ import (
 	"github.com/routeplanning/mamorl/internal/limits"
 	"github.com/routeplanning/mamorl/internal/obs"
 	"github.com/routeplanning/mamorl/internal/partial"
+	"github.com/routeplanning/mamorl/internal/prof"
 	"github.com/routeplanning/mamorl/internal/registry"
 	"github.com/routeplanning/mamorl/internal/rewardfn"
 	"github.com/routeplanning/mamorl/internal/sim"
@@ -121,6 +122,15 @@ type Options struct {
 	// and served at GET /debug/slo. nil selects slo.Defaults(); an empty
 	// non-nil slice disables SLO evaluation entirely.
 	SLOs []slo.Spec
+	// ProfileInterval enables the continuous profiler: every interval a CPU
+	// profile window plus heap/goroutine/mutex/block snapshots are folded
+	// into hot-function tables served at GET /debug/prof, and SLO warn/
+	// breach escalations trigger immediate out-of-schedule captures. <= 0
+	// disables profiling entirely (the nil-profiler fast path).
+	ProfileInterval time.Duration
+	// ProfileWindow is the CPU profile length per capture; <= 0 selects the
+	// prof package default (5s, clamped below ProfileInterval).
+	ProfileWindow time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -160,16 +170,17 @@ const (
 
 // Server is the TMPLAR-style planning service.
 type Server struct {
-	mu      sync.RWMutex
-	grids   map[string]*grid.Grid
-	model   *approx.LinearModel
-	ext     features.Extractor
-	opts    Options
-	ring    *trace.Ring
-	tracer  *trace.Tracer
-	sampler *obs.Sampler
-	jobs    *jobs.Queue
-	sloEng  *slo.Engine
+	mu       sync.RWMutex
+	grids    map[string]*grid.Grid
+	model    *approx.LinearModel
+	ext      features.Extractor
+	opts     Options
+	ring     *trace.Ring
+	tracer   *trace.Tracer
+	sampler  *obs.Sampler
+	jobs     *jobs.Queue
+	sloEng   *slo.Engine
+	profiler *prof.Profiler
 	// modelSource/modelArtifact record where the model came from:
 	// ("trained", artifact-id-or-empty) or ("registry", artifact-id).
 	modelSource   string
@@ -200,6 +211,19 @@ func NewServerOpts(seed int64, opts Options) (*Server, error) {
 	// so the dashboard shows heap/GC/goroutine series alongside service ones.
 	rc := obs.NewRuntimeCollector(opts.Metrics)
 	onTick := []func(){rc.Collect}
+	// The continuous profiler is built before the SLO engine so breach
+	// transitions can trigger forensic captures. ProfileInterval <= 0
+	// leaves it nil — the nil-receiver fast path makes every call below
+	// free, so the wiring stays unconditional.
+	var profiler *prof.Profiler
+	if opts.ProfileInterval > 0 {
+		profiler = prof.New(prof.Options{
+			Interval: opts.ProfileInterval,
+			Window:   opts.ProfileWindow,
+			Metrics:  opts.Metrics,
+			Logger:   opts.Logger,
+		})
+	}
 	// The SLO engine shares the sampler's cadence: evaluating right after
 	// the runtime collector means slo_state / slo_burn_rate land in the
 	// same sample frame the dashboard streams. Building it here (after
@@ -211,6 +235,17 @@ func NewServerOpts(seed int64, opts Options) (*Server, error) {
 			Specs:    opts.SLOs,
 			Logger:   opts.Logger,
 			Tracer:   tracer,
+			// Escalations into warn/breach snapshot the CPU/heap state that
+			// caused them; the capture ID lands in the /debug/slo report and
+			// resolves at /debug/prof/{id}. TriggerCapture only registers a
+			// pending capture and spawns the collection goroutine, so it is
+			// safe under the engine lock.
+			OnTransition: func(tr slo.Transition) string {
+				if tr.To <= tr.From || tr.To < slo.StateWarn {
+					return ""
+				}
+				return profiler.TriggerCapture("slo:" + tr.SLO + ":" + tr.To.String())
+			},
 		})
 		onTick = append(onTick, sloEng.Tick)
 	}
@@ -239,6 +274,7 @@ func NewServerOpts(seed int64, opts Options) (*Server, error) {
 		sampler:       sampler,
 		jobs:          queue,
 		sloEng:        sloEng,
+		profiler:      profiler,
 		modelSource:   source,
 		modelArtifact: artifact,
 	}, nil
@@ -348,6 +384,9 @@ func registerHelp(m *obs.Registry) {
 		"limits_charged_total":                "Budget units charged by planning requests, by resource.",
 		"limits_exhausted_total":              "Planning requests aborted over budget, by resource.",
 		"samples_skipped_total":               "Degenerate training samples dropped during collection.",
+		"prof_captures_total":                 "Profile captures taken, by trigger (scheduled/slo/manual).",
+		"prof_capture_errors_total":           "Profile captures that finished with an error.",
+		"prof_captures_retained":              "Profile captures currently held in the ring.",
 	} {
 		m.SetHelp(name, help)
 	}
@@ -359,6 +398,13 @@ func (s *Server) Metrics() *obs.Registry { return s.opts.Metrics }
 // SLO returns the burn-rate engine behind /debug/slo, or nil when SLO
 // evaluation is disabled (Options.SLOs set to an empty non-nil slice).
 func (s *Server) SLO() *slo.Engine { return s.sloEng }
+
+// Profiler returns the continuous profiler behind /debug/prof, or nil when
+// profiling is disabled (Options.ProfileInterval <= 0). The caller decides
+// whether the schedule runs: start Profiler().Run(ctx) in a goroutine for
+// periodic captures (tmplard does this); SLO-triggered and manual captures
+// work without Run.
+func (s *Server) Profiler() *prof.Profiler { return s.profiler }
 
 // Sampler returns the time-series sampler behind /debug/metrics/stream.
 // The caller decides whether it ticks: run Sampler().Run(ctx) in a
@@ -404,7 +450,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/metrics/stream", s.handleStream)
 	mux.Handle("GET /debug/slo", s.sloEng.Handler())
-	mux.Handle("GET /debug/dash", obs.DashHandlerOpts("/debug/metrics/stream", "/debug/slo"))
+	mux.Handle("GET /debug/prof", s.profiler.ListHandler())
+	mux.Handle("GET /debug/prof/{id}", s.profiler.GetHandler())
+	mux.Handle("GET /debug/dash", obs.DashHandlerFull("/debug/metrics/stream", "/debug/slo", "/debug/prof"))
 	return s.instrument(recoverPanics(mux))
 }
 
@@ -469,7 +517,8 @@ func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/readyz", "/version",
 		"/api/grids", "/api/plan", "/api/plan/asset", "/api/jobs/plan",
-		"/metrics", "/debug/traces", "/debug/metrics/stream", "/debug/slo", "/debug/dash":
+		"/metrics", "/debug/traces", "/debug/metrics/stream", "/debug/slo",
+		"/debug/prof", "/debug/dash":
 		return path
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/jobs/"); ok && rest != "" {
@@ -481,6 +530,9 @@ func routeLabel(path string) string {
 				return "/api/jobs/{id}/events"
 			}
 		}
+	}
+	if rest, ok := strings.CutPrefix(path, "/debug/prof/"); ok && rest != "" && !strings.Contains(rest, "/") {
+		return "/debug/prof/{id}"
 	}
 	return "other"
 }
@@ -558,7 +610,9 @@ func (s *Server) startRequestSpan(r *http.Request, endpoint string) *trace.Span 
 // handleTraces serves the ring of recent completed spans as JSON, newest
 // last. ?n= (alias ?limit=) keeps only the newest n spans; ?name= keeps
 // spans whose name or trace ID equals the value, so both "plan" and an
-// exemplar's hex trace ID from /debug/slo resolve directly.
+// exemplar's hex trace ID from /debug/slo resolve directly; ?since=
+// (unix nanoseconds) keeps spans that started at or after the instant, so
+// breach forensics can scope traces to a profile capture window.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	spans := s.ring.Snapshot()
 	q := r.URL.Query()
@@ -566,6 +620,20 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		kept := spans[:0]
 		for _, sp := range spans {
 			if sp.Name == name || sp.TraceID.String() == name {
+				kept = append(kept, sp)
+			}
+		}
+		spans = kept
+	}
+	if since := q.Get("since"); since != "" {
+		ns, err := strconv.ParseInt(since, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"since must be unix nanoseconds"})
+			return
+		}
+		kept := spans[:0]
+		for _, sp := range spans {
+			if sp.Start.UnixNano() >= ns {
 				kept = append(kept, sp)
 			}
 		}

@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_7.json
+BENCH_OUT ?= BENCH_8.json
 # bench-compare inputs: the stored baseline and the report to vet against it.
-BENCH_OLD ?= BENCH_6.json
+BENCH_OLD ?= BENCH_7.json
 BENCH_NEW ?= $(BENCH_OUT)
 BENCH_THRESHOLD ?= 15
 
@@ -28,15 +28,16 @@ race:
 # metrics sampler/SSE fan-out, the SLO burn-rate engine, the async job
 # queue, the resource-budget accounting, the model registry, the
 # data-parallel training stack (neural/linreg worker pools, flat sample
-# tensors), and the continuous profiler's capture ring — the packages with
-# real concurrency.
+# tensors), the continuous profiler's capture ring, and the tenant-aware
+# planner catalog (single-flight loads, LRU eviction, micro-batching) —
+# the packages with real concurrency.
 race-exec:
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/... ./internal/obs/... ./internal/slo/... ./internal/jobs/... ./internal/limits/... ./internal/registry/... ./internal/neural/... ./internal/linreg/... ./internal/approx/... ./internal/tensor/... ./internal/prof/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/trace/... ./internal/obs/... ./internal/slo/... ./internal/jobs/... ./internal/limits/... ./internal/registry/... ./internal/neural/... ./internal/linreg/... ./internal/approx/... ./internal/tensor/... ./internal/prof/... ./internal/catalog/...
 
 # loadgen-smoke drives a short open-loop run (2s at 20 rps) against an
 # in-process tmplard and fails if any default SLO breaches.
 loadgen-smoke:
-	$(GO) test ./cmd/loadgen/ -run 'TestSmoke|TestFailsOnInducedBreach' -v
+	$(GO) test ./cmd/loadgen/ -run 'TestSmoke|TestMultiTenantSmoke|TestFailsOnInducedBreach' -v
 
 # check is what CI runs (.github/workflows/ci.yml).
 check: build vet fmt-check test race loadgen-smoke

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"github.com/routeplanning/mamorl/internal/approx"
+	"github.com/routeplanning/mamorl/internal/catalog"
 	"github.com/routeplanning/mamorl/internal/core"
 	"github.com/routeplanning/mamorl/internal/experiments"
 	"github.com/routeplanning/mamorl/internal/graphalg"
@@ -504,4 +505,64 @@ func BenchmarkMissionStep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCatalogDecide measures one Decide served through the planner
+// catalog. The hot case is the steady state of a resident tenant: Acquire is
+// a map hit plus an LRU touch, and Do pays the planner reset. The cold case
+// alternates two keys through a capacity-1 catalog, so every Acquire misses,
+// loads, and evicts — the worst-case churn of an oversubscribed working set.
+func BenchmarkCatalogDecide(b *testing.B) {
+	h := harness(b)
+	g, err := grid.GenerateSynthetic(grid.SyntheticConfig{Nodes: 400, Edges: 846, MaxOutDegree: 9, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := approx.TrainingScenario(g, 4, 5, 1.2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := sim.NewMission(sc, sim.RunOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	loader := func(context.Context, string) (*catalog.ModelArtifact, error) {
+		return &catalog.ModelArtifact{Model: h.Linear, Ext: h.Pipe.Extractor}, nil
+	}
+	ctx := context.Background()
+	decideVia := func(b *testing.B, cat *catalog.Catalog, key catalog.Key, i int) {
+		ent, err := cat.Acquire(ctx, key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ent.Release()
+		if err := ent.Do(ctx, 1, func(_ context.Context, pl *approx.Planner) error {
+			_ = pl.Decide(m, i%len(sc.Team))
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("hot", func(b *testing.B) {
+		cat := catalog.New(catalog.Options{LoadModel: loader})
+		defer cat.Close()
+		cat.InstallGrid("bench", g)
+		decideVia(b, cat, catalog.Key{Grid: "bench"}, 0) // warm the entry
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			decideVia(b, cat, catalog.Key{Grid: "bench"}, i)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		cat := catalog.New(catalog.Options{Capacity: 1, LoadModel: loader})
+		defer cat.Close()
+		cat.InstallGrid("churn-a", g)
+		cat.InstallGrid("churn-b", g)
+		keys := []catalog.Key{{Grid: "churn-a"}, {Grid: "churn-b"}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			decideVia(b, cat, keys[i%2], i)
+		}
+	})
 }

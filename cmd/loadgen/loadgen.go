@@ -31,6 +31,7 @@ type assetSpec struct {
 
 type planRequest struct {
 	Grid        string      `json:"grid"`
+	ModelID     string      `json:"model_id,omitempty"`
 	Assets      []assetSpec `json:"assets"`
 	Destination int32       `json:"destination"`
 	Seed        int64       `json:"seed"`
@@ -65,6 +66,13 @@ type Config struct {
 	// Grid names the grid every mission plans on; it must exist on the
 	// server (loadgen resolves its node count from GET /api/grids).
 	Grid string
+	// Grids, when set, replaces Grid with a multi-tenant rotation: request i
+	// goes to tenant i mod (grids × models). Every grid must exist on the
+	// server.
+	Grids []string
+	// Models is the model_id rotation crossed with Grids; "" selects the
+	// server's default model. Empty means default-only.
+	Models []string
 	// AssetCounts is the per-request rotation of team sizes; sources are
 	// spread evenly across the grid's node range.
 	AssetCounts []int
@@ -104,8 +112,19 @@ func (cfg *Config) normalize() error {
 	if cfg.Target == "" {
 		return fmt.Errorf("target URL required")
 	}
-	if cfg.Grid == "" {
-		return fmt.Errorf("grid name required")
+	if len(cfg.Grids) == 0 {
+		if cfg.Grid == "" {
+			return fmt.Errorf("grid name required")
+		}
+		cfg.Grids = []string{cfg.Grid}
+	}
+	for _, g := range cfg.Grids {
+		if g == "" {
+			return fmt.Errorf("empty grid name in %v", cfg.Grids)
+		}
+	}
+	if len(cfg.Models) == 0 {
+		cfg.Models = []string{""}
 	}
 	if cfg.Duration <= 0 {
 		cfg.Duration = 30 * time.Second
@@ -152,23 +171,43 @@ func (cfg *Config) normalize() error {
 	return nil
 }
 
-// request builds the i-th mission deterministically: team size rotates
-// through AssetCounts, sources spread across the node range, and the seed
-// advances so no two missions are identical.
-func (cfg *Config) request(i, nodes, dest int) planRequest {
+// tenant is one (grid, model) pair of the rotation, with the grid's resolved
+// node count and derived destination.
+type tenant struct {
+	grid  string
+	model string
+	nodes int
+	dest  int
+}
+
+// key labels a tenant in reports: "grid" for the default model,
+// "grid/model" otherwise.
+func (t tenant) key() string {
+	if t.model == "" {
+		return t.grid
+	}
+	return t.grid + "/" + t.model
+}
+
+// request builds the i-th mission deterministically: the tenant rotates
+// through the grids × models cross product, team size through AssetCounts,
+// sources spread across the node range, and the seed advances so no two
+// missions are identical.
+func (cfg *Config) request(i int, tn tenant) planRequest {
 	n := cfg.AssetCounts[i%len(cfg.AssetCounts)]
 	assets := make([]assetSpec, n)
 	for j := range assets {
 		assets[j] = assetSpec{
-			Source:        int32(j * nodes / (n + 1)),
+			Source:        int32(j * tn.nodes / (n + 1)),
 			SensingRadius: 10,
 			MaxSpeed:      3,
 		}
 	}
 	return planRequest{
-		Grid:        cfg.Grid,
+		Grid:        tn.grid,
+		ModelID:     tn.model,
 		Assets:      assets,
-		Destination: int32(dest),
+		Destination: int32(tn.dest),
 		Seed:        cfg.Seed + int64(i),
 		MaxSteps:    cfg.MaxSteps,
 		DeadlineMS:  cfg.DeadlineMS,
@@ -202,27 +241,46 @@ const (
 	outcomeThrottled
 )
 
+// tenantAgg accumulates one tenant's slice of the run.
+type tenantAgg struct {
+	latencies []float64
+	ok        int
+	completed int
+}
+
 type recorder struct {
 	mu        sync.Mutex
 	latencies []float64
 	status    map[string]int
+	tenants   map[string]*tenantAgg
 	ok        int
 	errs      int
 	throttled int
 }
 
 func newRecorder() *recorder {
-	return &recorder{status: make(map[string]int)}
+	return &recorder{
+		status:  make(map[string]int),
+		tenants: make(map[string]*tenantAgg),
+	}
 }
 
-func (r *recorder) record(seconds float64, label string, oc outcome) {
+func (r *recorder) record(seconds float64, tenantKey, label string, oc outcome) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.latencies = append(r.latencies, seconds)
 	r.status[label]++
+	ta := r.tenants[tenantKey]
+	if ta == nil {
+		ta = &tenantAgg{}
+		r.tenants[tenantKey] = ta
+	}
+	ta.latencies = append(ta.latencies, seconds)
+	ta.completed++
 	switch oc {
 	case outcomeOK:
 		r.ok++
+		ta.ok++
 	case outcomeThrottled:
 		r.throttled++
 	default:
@@ -267,6 +325,29 @@ type ServerRuntime struct {
 	GCCycles   float64 `json:"gc_cycles"`
 }
 
+// TenantReport is one (grid, model) tenant's slice of the run: how much of
+// the mix it received and its client-observed latency distribution.
+type TenantReport struct {
+	Grid       string  `json:"grid"`
+	Model      string  `json:"model,omitempty"`
+	Completed  int     `json:"completed"`
+	OK         int     `json:"ok"`
+	LatencyP50 float64 `json:"latency_p50_seconds"`
+	LatencyP90 float64 `json:"latency_p90_seconds"`
+	LatencyP99 float64 `json:"latency_p99_seconds"`
+}
+
+// CatalogStats is the server's planner-catalog health scraped from /metrics
+// after the run. HitRate is hits/(hits+misses); a multi-tenant run whose
+// working set fits the catalog should end near 1.
+type CatalogStats struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Loads     uint64  `json:"loads"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
 // Report is the compliance report a run ends with.
 type Report struct {
 	Target          string            `json:"target"`
@@ -283,6 +364,8 @@ type Report struct {
 	LatencyP50      float64           `json:"latency_p50_seconds"`
 	LatencyP90      float64           `json:"latency_p90_seconds"`
 	LatencyP99      float64           `json:"latency_p99_seconds"`
+	Tenants         []TenantReport    `json:"tenants,omitempty"`
+	Catalog         *CatalogStats     `json:"catalog,omitempty"`
 	ServerRequests  map[string]uint64 `json:"server_requests_by_route,omitempty"`
 	ServerRuntime   *ServerRuntime    `json:"server_runtime,omitempty"`
 	SLOs            []slo.Status      `json:"slos"`
@@ -310,19 +393,28 @@ func (cfg *Config) getJSON(ctx context.Context, path string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
-func (cfg *Config) gridNodes(ctx context.Context) (int, error) {
+// gridNodes resolves node counts for every grid of the rotation from the
+// server's grid listing.
+func (cfg *Config) gridNodes(ctx context.Context) (map[string]int, error) {
 	var infos []gridInfo
 	if err := cfg.getJSON(ctx, "/api/grids", &infos); err != nil {
-		return 0, fmt.Errorf("list grids: %w", err)
+		return nil, fmt.Errorf("list grids: %w", err)
 	}
+	byName := make(map[string]int, len(infos))
 	names := make([]string, 0, len(infos))
 	for _, gi := range infos {
-		if gi.Name == cfg.Grid {
-			return gi.Nodes, nil
-		}
+		byName[gi.Name] = gi.Nodes
 		names = append(names, gi.Name)
 	}
-	return 0, fmt.Errorf("grid %q not on server (has %v)", cfg.Grid, names)
+	nodes := make(map[string]int, len(cfg.Grids))
+	for _, g := range cfg.Grids {
+		n, ok := byName[g]
+		if !ok {
+			return nil, fmt.Errorf("grid %q not on server (has %v)", g, names)
+		}
+		nodes[g] = n
+	}
+	return nodes, nil
 }
 
 func (cfg *Config) post(ctx context.Context, path string, body []byte) (int, []byte, error) {
@@ -342,44 +434,44 @@ func (cfg *Config) post(ctx context.Context, path string, body []byte) (int, []b
 
 // fireSync issues one synchronous plan and records its client-observed
 // latency and outcome.
-func (cfg *Config) fireSync(ctx context.Context, pr planRequest, rec *recorder) {
+func (cfg *Config) fireSync(ctx context.Context, pr planRequest, tkey string, rec *recorder) {
 	body, _ := json.Marshal(pr)
 	start := time.Now()
 	code, _, err := cfg.post(ctx, "/api/plan", body)
 	elapsed := time.Since(start).Seconds()
 	switch {
 	case err != nil:
-		rec.record(elapsed, "transport_error", outcomeErr)
+		rec.record(elapsed, tkey, "transport_error", outcomeErr)
 	case code == http.StatusTooManyRequests:
-		rec.record(elapsed, "429", outcomeThrottled)
+		rec.record(elapsed, tkey, "429", outcomeThrottled)
 	case code >= 200 && code < 300:
-		rec.record(elapsed, strconv.Itoa(code), outcomeOK)
+		rec.record(elapsed, tkey, strconv.Itoa(code), outcomeOK)
 	default:
-		rec.record(elapsed, strconv.Itoa(code), outcomeErr)
+		rec.record(elapsed, tkey, strconv.Itoa(code), outcomeErr)
 	}
 }
 
 // fireJob submits through the async plane and polls the job to a terminal
 // state; latency is submit-to-settled wall time, the shape a mission
 // console experiences.
-func (cfg *Config) fireJob(ctx context.Context, pr planRequest, rec *recorder) {
+func (cfg *Config) fireJob(ctx context.Context, pr planRequest, tkey string, rec *recorder) {
 	body, _ := json.Marshal(pr)
 	start := time.Now()
 	code, resp, err := cfg.post(ctx, "/api/jobs/plan", body)
 	switch {
 	case err != nil:
-		rec.record(time.Since(start).Seconds(), "transport_error", outcomeErr)
+		rec.record(time.Since(start).Seconds(), tkey, "transport_error", outcomeErr)
 		return
 	case code == http.StatusTooManyRequests:
-		rec.record(time.Since(start).Seconds(), "429", outcomeThrottled)
+		rec.record(time.Since(start).Seconds(), tkey, "429", outcomeThrottled)
 		return
 	case code != http.StatusAccepted:
-		rec.record(time.Since(start).Seconds(), strconv.Itoa(code), outcomeErr)
+		rec.record(time.Since(start).Seconds(), tkey, strconv.Itoa(code), outcomeErr)
 		return
 	}
 	var v jobView
 	if err := json.Unmarshal(resp, &v); err != nil || v.ID == "" {
-		rec.record(time.Since(start).Seconds(), "job:bad_submit", outcomeErr)
+		rec.record(time.Since(start).Seconds(), tkey, "job:bad_submit", outcomeErr)
 		return
 	}
 	t := time.NewTicker(cfg.PollInterval)
@@ -387,7 +479,7 @@ func (cfg *Config) fireJob(ctx context.Context, pr planRequest, rec *recorder) {
 	for {
 		select {
 		case <-ctx.Done():
-			rec.record(time.Since(start).Seconds(), "job:timeout", outcomeErr)
+			rec.record(time.Since(start).Seconds(), tkey, "job:timeout", outcomeErr)
 			return
 		case <-t.C:
 		}
@@ -396,18 +488,18 @@ func (cfg *Config) fireJob(ctx context.Context, pr planRequest, rec *recorder) {
 			// A 429 job view still decodes below; any other failure here is
 			// a lost job.
 			if ctx.Err() != nil {
-				rec.record(time.Since(start).Seconds(), "job:timeout", outcomeErr)
+				rec.record(time.Since(start).Seconds(), tkey, "job:timeout", outcomeErr)
 			} else {
-				rec.record(time.Since(start).Seconds(), "job:poll_error", outcomeErr)
+				rec.record(time.Since(start).Seconds(), tkey, "job:poll_error", outcomeErr)
 			}
 			return
 		}
 		switch cur.State {
 		case "done":
-			rec.record(time.Since(start).Seconds(), "job:done", outcomeOK)
+			rec.record(time.Since(start).Seconds(), tkey, "job:done", outcomeOK)
 			return
 		case "failed", "canceled":
-			rec.record(time.Since(start).Seconds(), "job:"+cur.State, outcomeErr)
+			rec.record(time.Since(start).Seconds(), tkey, "job:"+cur.State, outcomeErr)
 			return
 		}
 	}
@@ -416,7 +508,7 @@ func (cfg *Config) fireJob(ctx context.Context, pr planRequest, rec *recorder) {
 // scrapeServer folds /metrics?format=json into per-route request totals —
 // the server-side view the client counts are reconciled against — and the
 // runtime gauges the server's sampler maintains (nil until its first tick).
-func (cfg *Config) scrapeServer(ctx context.Context) (map[string]uint64, *ServerRuntime) {
+func (cfg *Config) scrapeServer(ctx context.Context) (map[string]uint64, *ServerRuntime, *CatalogStats) {
 	var snap struct {
 		Counters []struct {
 			Name   string            `json:"name"`
@@ -431,13 +523,26 @@ func (cfg *Config) scrapeServer(ctx context.Context) (map[string]uint64, *Server
 	}
 	if err := cfg.getJSON(ctx, "/metrics?format=json", &snap); err != nil {
 		cfg.Logf("scrape /metrics: %v", err)
-		return nil, nil
+		return nil, nil, nil
 	}
 	byRoute := make(map[string]uint64)
+	cat := &CatalogStats{}
 	for _, c := range snap.Counters {
-		if c.Name == "tmplar_http_requests_total" {
+		switch c.Name {
+		case "tmplar_http_requests_total":
 			byRoute[c.Labels["endpoint"]] += c.Value
+		case "catalog_hits_total":
+			cat.Hits += c.Value
+		case "catalog_misses_total":
+			cat.Misses += c.Value
+		case "catalog_evictions_total":
+			cat.Evictions += c.Value
+		case "catalog_loads_total":
+			cat.Loads += c.Value
 		}
+	}
+	if total := cat.Hits + cat.Misses; total > 0 {
+		cat.HitRate = float64(cat.Hits) / float64(total)
 	}
 	var rt *ServerRuntime
 	ensure := func() *ServerRuntime {
@@ -460,7 +565,7 @@ func (cfg *Config) scrapeServer(ctx context.Context) (map[string]uint64, *Server
 			}
 		}
 	}
-	return byRoute, rt
+	return byRoute, rt, cat
 }
 
 func stateLevel(s string) int {
@@ -483,22 +588,31 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	nodes, err := cfg.gridNodes(ctx)
+	nodesByGrid, err := cfg.gridNodes(ctx)
 	if err != nil {
 		return nil, err
 	}
-	dest := cfg.Destination
-	if dest < 0 {
-		dest = nodes - 1
-		if nodes > 10 {
-			dest = nodes - 10
+	// Build the tenant rotation: grids × models, each with a per-grid
+	// destination (an explicit -destination must fit every grid).
+	var tenants []tenant
+	for _, g := range cfg.Grids {
+		nodes := nodesByGrid[g]
+		dest := cfg.Destination
+		if dest < 0 {
+			dest = nodes - 1
+			if nodes > 10 {
+				dest = nodes - 10
+			}
+		}
+		if dest < 0 || dest >= nodes {
+			return nil, fmt.Errorf("destination %d outside grid %q of %d nodes", dest, g, nodes)
+		}
+		for _, m := range cfg.Models {
+			tenants = append(tenants, tenant{grid: g, model: m, nodes: nodes, dest: dest})
 		}
 	}
-	if dest < 0 || dest >= nodes {
-		return nil, fmt.Errorf("destination %d outside grid of %d nodes", dest, nodes)
-	}
-	cfg.Logf("target %s grid %q (%d nodes) dest %d: %v rps for %v, %d in-flight max",
-		cfg.Target, cfg.Grid, nodes, dest, cfg.RPS, cfg.Duration, cfg.Concurrency)
+	cfg.Logf("target %s, %d tenant(s) (%v grids x %v models): %v rps for %v, %d in-flight max",
+		cfg.Target, len(tenants), cfg.Grids, len(cfg.Models), cfg.RPS, cfg.Duration, cfg.Concurrency)
 
 	rec := newRecorder()
 	sem := make(chan struct{}, cfg.Concurrency)
@@ -528,7 +642,8 @@ loop:
 		case <-stop.C:
 			break loop
 		case <-ticker.C:
-			pr := cfg.request(sent, nodes, dest)
+			tn := tenants[sent%len(tenants)]
+			pr := cfg.request(sent, tn)
 			asJob := jobs.next()
 			sent++
 			select {
@@ -544,9 +659,9 @@ loop:
 				defer wg.Done()
 				defer func() { <-sem }()
 				if asJob {
-					cfg.fireJob(workCtx, pr, rec)
+					cfg.fireJob(workCtx, pr, tn.key(), rec)
 				} else {
-					cfg.fireSync(workCtx, pr, rec)
+					cfg.fireSync(workCtx, pr, tn.key(), rec)
 				}
 			}()
 		}
@@ -581,7 +696,24 @@ loop:
 	rep.LatencyP50 = percentile(rec.latencies, 0.50)
 	rep.LatencyP90 = percentile(rec.latencies, 0.90)
 	rep.LatencyP99 = percentile(rec.latencies, 0.99)
-	rep.ServerRequests, rep.ServerRuntime = cfg.scrapeServer(ctx)
+	// Per-tenant breakdown in rotation order, so reports diff cleanly.
+	for _, tn := range tenants {
+		ta := rec.tenants[tn.key()]
+		if ta == nil {
+			continue
+		}
+		sort.Float64s(ta.latencies)
+		rep.Tenants = append(rep.Tenants, TenantReport{
+			Grid:       tn.grid,
+			Model:      tn.model,
+			Completed:  ta.completed,
+			OK:         ta.ok,
+			LatencyP50: percentile(ta.latencies, 0.50),
+			LatencyP90: percentile(ta.latencies, 0.90),
+			LatencyP99: percentile(ta.latencies, 0.99),
+		})
+	}
+	rep.ServerRequests, rep.ServerRuntime, rep.Catalog = cfg.scrapeServer(ctx)
 
 	rep.Pass = true
 	fail := func(format string, args ...any) {

@@ -116,6 +116,86 @@ func TestSmoke(t *testing.T) {
 	}
 }
 
+// TestMultiTenantSmoke exercises the multi-tenant mixer against a real
+// server registering a model artifact: two grids crossed with the default
+// model and the artifact ID give four tenants, each of which must complete
+// traffic and show up in the per-tenant report, and the catalog scrape must
+// show the four-entry working set served mostly from cache.
+func TestMultiTenantSmoke(t *testing.T) {
+	s, err := tmplar.NewServerOpts(17, tmplar.Options{
+		ModelDir:       t.TempDir(),
+		SampleInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewServerOpts: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	_, artifact := s.ModelSource()
+	if artifact == "" {
+		t.Fatal("server with a ModelDir registered no artifact")
+	}
+	for i, name := range []string{"alpha", "bravo"} {
+		g, err := grid.GenerateSynthetic(grid.SyntheticConfig{
+			Name: name, Nodes: 120, Edges: 260, MaxOutDegree: 8, Seed: int64(40 + i),
+		})
+		if err != nil {
+			t.Fatalf("grid %s: %v", name, err)
+		}
+		s.InstallGrid(g)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go s.Sampler().Run(ctx)
+
+	rep, err := Run(context.Background(), Config{
+		Target:       ts.URL,
+		Duration:     2 * time.Second,
+		RPS:          20,
+		Concurrency:  16,
+		Grids:        []string{"alpha", "bravo"},
+		Models:       []string{"", artifact},
+		AssetCounts:  []int{1, 2},
+		JobsRatio:    0.25,
+		Seed:         1,
+		PollInterval: 5 * time.Millisecond,
+		Settle:       200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Pass {
+		t.Fatalf("healthy multi-tenant run failed: %v\n%+v", rep.Reasons, rep)
+	}
+	if len(rep.Tenants) != 4 {
+		t.Fatalf("tenant reports = %d, want 4 (2 grids x 2 models): %+v", len(rep.Tenants), rep.Tenants)
+	}
+	for _, tn := range rep.Tenants {
+		if tn.Completed == 0 || tn.OK == 0 {
+			t.Errorf("tenant %s/%s starved: %+v", tn.Grid, tn.Model, tn)
+		}
+		if tn.LatencyP50 <= 0 || tn.LatencyP99 < tn.LatencyP50 {
+			t.Errorf("tenant %s/%s suspicious percentiles: %+v", tn.Grid, tn.Model, tn)
+		}
+	}
+	c := rep.Catalog
+	if c == nil {
+		t.Fatal("report lacks catalog stats")
+	}
+	// Four tenants fit the default capacity, so after the four cold loads
+	// every request is a cache hit.
+	if c.Loads != 4 {
+		t.Errorf("catalog loads = %d, want 4 (one per tenant)", c.Loads)
+	}
+	if c.Hits == 0 || c.HitRate <= 0.5 {
+		t.Errorf("catalog hit rate = %v (%d hits / %d misses), want mostly hits", c.HitRate, c.Hits, c.Misses)
+	}
+	if c.Evictions != 0 {
+		t.Errorf("catalog evicted %d entries with a working set under capacity", c.Evictions)
+	}
+}
+
 // TestFailsOnInducedBreach is the acceptance scenario: a deadline pinned
 // below any achievable planning latency turns every plan into a 503, the
 // availability SLO breaches, and the run reports failure (the binary's
@@ -333,8 +413,9 @@ func TestRequestShape(t *testing.T) {
 	if err := cfg.normalize(); err != nil {
 		t.Fatal(err)
 	}
-	r0 := cfg.request(0, 150, 140)
-	r1 := cfg.request(1, 150, 140)
+	tn := tenant{grid: "g", nodes: 150, dest: 140}
+	r0 := cfg.request(0, tn)
+	r1 := cfg.request(1, tn)
 	if len(r0.Assets) != 1 || len(r1.Assets) != 3 {
 		t.Fatalf("asset rotation broken: %d, %d", len(r0.Assets), len(r1.Assets))
 	}

@@ -51,6 +51,8 @@ func main() {
 		rps         = flag.Float64("rps", 50, "open-loop request rate")
 		concurrency = flag.Int("concurrency", 64, "max in-flight requests; excess scheduled requests are shed")
 		gridName    = flag.String("grid", "ops-area", "grid every mission plans on (must exist on the server)")
+		gridsCSV    = flag.String("grids", "", "comma-separated grid rotation for multi-tenant runs (overrides -grid)")
+		modelsCSV   = flag.String("models", "", "comma-separated model_id rotation crossed with the grids; empty entry = server default model")
 		assets      = flag.String("assets", "2", "comma-separated team sizes the mix rotates through")
 		destination = flag.Int("destination", -1, "destination node; negative derives one from the grid size")
 		deadlineMS  = flag.Int64("deadline-ms", 0, "per-mission planning deadline in ms; 0 keeps the server default")
@@ -93,6 +95,8 @@ func main() {
 		RPS:          *rps,
 		Concurrency:  *concurrency,
 		Grid:         *gridName,
+		Grids:        splitCSV(*gridsCSV),
+		Models:       splitCSV(*modelsCSV),
 		AssetCounts:  assetCounts,
 		Destination:  *destination,
 		DeadlineMS:   *deadlineMS,
@@ -121,6 +125,21 @@ func main() {
 		time.Duration(rep.LatencyP50*float64(time.Second)),
 		time.Duration(rep.LatencyP90*float64(time.Second)),
 		time.Duration(rep.LatencyP99*float64(time.Second)))
+	for _, tn := range rep.Tenants {
+		name := tn.Grid
+		if tn.Model != "" {
+			name += "/" + tn.Model
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: tenant %-30s completed %d ok %d; p50 %s p90 %s p99 %s\n",
+			name, tn.Completed, tn.OK,
+			time.Duration(tn.LatencyP50*float64(time.Second)),
+			time.Duration(tn.LatencyP90*float64(time.Second)),
+			time.Duration(tn.LatencyP99*float64(time.Second)))
+	}
+	if c := rep.Catalog; c != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: catalog: %.1f%% hit rate (%d hits, %d misses, %d loads, %d evictions)\n",
+			c.HitRate*100, c.Hits, c.Misses, c.Loads, c.Evictions)
+	}
 	if rt := rep.ServerRuntime; rt != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: server runtime: heap %.1f MiB, %d goroutines, gc pause p99 %s (%d cycles)\n",
 			rt.HeapBytes/(1<<20), int(rt.Goroutines),
@@ -139,6 +158,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "loadgen: PASS")
+}
+
+// splitCSV splits a comma-separated flag, trimming whitespace and keeping
+// empty entries (an empty model_id means "the default model").
+func splitCSV(csv string) []string {
+	if csv == "" {
+		return nil
+	}
+	parts := strings.Split(csv, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 func parseCounts(csv string) ([]int, error) {

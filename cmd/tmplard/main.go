@@ -18,11 +18,12 @@
 //	GET  /debug/slo             evaluated SLO burn-rate report (JSON; see -slo-config)
 //	GET  /debug/prof            continuous-profiling captures (JSON; see -profile-interval)
 //	GET  /debug/prof/{id}       one capture's hot-function tables (?format=raw&kind= downloads pprof)
+//	GET  /debug/catalog         planner catalog snapshot: resident entries, LRU order, hit/miss stats (JSON)
 //	GET  /debug/dash            self-contained live dashboard (HTML, no external assets)
 //	GET  /debug/metrics/stream  time-series samples over SSE (feeds the dashboard)
 //	GET  /api/grids             registered grids (name-sorted)
 //	POST /api/grids             upload a grid (JSON, gridgen format)
-//	POST /api/plan              global view: plan all assets of a mission
+//	POST /api/plan              global view: plan all assets of a mission (grid/model_id select the tenant)
 //	POST /api/plan/asset        local view: plan a single asset
 //	POST /api/jobs/plan         submit a plan as an async job (202 + job ID)
 //	GET  /api/jobs/{id}         poll a job (state, result when done)
@@ -104,6 +105,9 @@ func main() {
 		blockRate   = flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate in ns for the -pprof block profile (0 = off)")
 		profEvery   = flag.Duration("profile-interval", 0, "continuous profiler: scheduled capture interval feeding /debug/prof (0 = disabled)")
 		profWindow  = flag.Duration("profile-window", 5*time.Second, "continuous profiler: CPU sampling window per capture")
+		catCap      = flag.Int("catalog-capacity", 0, "resident (grid, model) planner entries before LRU eviction (0 = default 8)")
+		batchWindow = flag.Duration("batch-window", 0, "micro-batch straggler wait per planner before executing a partial Decide batch (0 = no wait)")
+		batchMax    = flag.Int("batch-max", 0, "Decide tasks executed per micro-batch round (0 = default 8)")
 		version     = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
@@ -171,6 +175,10 @@ func main() {
 		SLOs:            sloSpecs,
 		ProfileInterval: *profEvery,
 		ProfileWindow:   *profWindow,
+
+		CatalogCapacity:    *catCap,
+		CatalogBatchWindow: *batchWindow,
+		CatalogMaxBatch:    *batchMax,
 	})
 	if err != nil {
 		fatalf("%v", err)

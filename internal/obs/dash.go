@@ -89,9 +89,19 @@ func DashHandlerOpts(streamPath, sloPath string) http.Handler {
 // finished capture's CPU table (falling back to heap when the CPU window
 // caught no samples), linking each capture to its full table.
 func DashHandlerFull(streamPath, sloPath, profPath string) http.Handler {
+	return DashHandlerAll(streamPath, sloPath, profPath, "")
+}
+
+// DashHandlerAll is DashHandlerFull plus an optional planner-catalog
+// endpoint (tmplar's /debug/catalog). When catalogPath is non-empty the page
+// polls the catalog snapshot and renders a tenants panel: resident (grid,
+// model) planner entries with refs/hits/age, plus the hit/miss/eviction
+// counters and the micro-batch configuration.
+func DashHandlerAll(streamPath, sloPath, profPath, catalogPath string) http.Handler {
 	page := strings.Replace(dashHTML, "__STREAM_PATH__", streamPath, 1)
 	page = strings.Replace(page, "__SLO_PATH__", sloPath, 1)
 	page = strings.Replace(page, "__PROF_PATH__", profPath, 1)
+	page = strings.Replace(page, "__CATALOG_PATH__", catalogPath, 1)
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		_, _ = w.Write([]byte(page))
@@ -139,6 +149,14 @@ const dashHTML = `<!doctype html>
   #prof .fn { overflow-wrap: anywhere; }
   #prof .num { text-align: right; }
   #prof a { color: #4f9cf9; text-decoration: none; }
+  #catalog { margin-bottom: 12px; }
+  #catalog table { border-collapse: collapse; width: 100%; background: #1b1f26;
+                   border: 1px solid #2c323b; border-radius: 6px; }
+  #catalog th, #catalog td { text-align: left; padding: 4px 10px; border-bottom: 1px solid #2c323b; }
+  #catalog th { color: #9aa4b2; font-size: 11px; font-weight: 500; }
+  #catalog caption { text-align: left; color: #9aa4b2; font-size: 11px; padding: 5px 10px;
+                     background: #1b1f26; border: 1px solid #2c323b; border-bottom: none; }
+  #catalog .num { text-align: right; }
   .st { padding: 1px 7px; border-radius: 8px; font-size: 11px; }
   .st-ok { background: #143a1f; color: #5cb870; }
   .st-warn { background: #3d3314; color: #d6a545; }
@@ -152,6 +170,7 @@ const dashHTML = `<!doctype html>
   <input id="filter" type="search" placeholder="filter series (e.g. rate, heap, p99)">
 </header>
 <div id="slos"></div>
+<div id="catalog"></div>
 <div id="prof"></div>
 <div id="tiles"></div>
 <script>
@@ -290,6 +309,34 @@ async function pollProf() {
 }
 pollProf();
 setInterval(pollProf, 10000);
+
+// --- Planner catalog panel (only when the catalog endpoint is mounted) ----
+const CATALOG_PATH = "__CATALOG_PATH__";
+const catBox = document.getElementById("catalog");
+async function pollCatalog() {
+  if (!CATALOG_PATH) return;
+  let snap;
+  try {
+    snap = await (await fetch(CATALOG_PATH)).json();
+  } catch (e) { return; }
+  const st = snap.stats || {};
+  const total = (st.hits || 0) + (st.misses || 0);
+  const rate = total ? (100 * st.hits / total).toFixed(1) + "%" : "&mdash;";
+  const rows = (snap.entries || []).map(e =>
+    "<tr><td>" + esc(e.grid) + "</td><td>" + (e.model ? esc(e.model) : "<em>default</em>") +
+    "</td><td>" + esc(e.source) + '</td><td class="num">' + e.refs +
+    '</td><td class="num">' + e.hits + '</td><td class="num">' +
+    e.age_seconds.toFixed(1) + "s</td></tr>").join("");
+  catBox.innerHTML = "<table><caption>planner catalog &middot; " +
+    (snap.entries || []).length + "/" + snap.capacity + " entries &middot; hit rate " + rate +
+    " &middot; evictions " + (st.evictions || 0) + " &middot; loading " +
+    (snap.loading || []).length + " &middot; batch " + snap.batch.max_batch + "&times;" +
+    snap.batch.window_ms + "ms</caption>" +
+    "<tr><th>grid</th><th>model</th><th>source</th><th>refs</th><th>hits</th><th>age</th></tr>" +
+    rows + "</table>";
+}
+pollCatalog();
+setInterval(pollCatalog, 5000);
 </script>
 </body>
 </html>

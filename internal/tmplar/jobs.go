@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"github.com/routeplanning/mamorl/internal/catalog"
 	"github.com/routeplanning/mamorl/internal/jobs"
 	"github.com/routeplanning/mamorl/internal/limits"
 	"github.com/routeplanning/mamorl/internal/obs"
@@ -58,7 +59,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	// Reject the obvious 4xx cases synchronously; a job that cannot plan
 	// should not occupy queue capacity.
 	if _, ok := s.lookupGrid(req.Grid); !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("unknown grid %q", req.Grid)})
+		writeNotFound(w, &catalog.NotFoundError{Kind: "grid", Name: req.Grid})
+		return
+	}
+	// Model selectors validate against the registry manifests only — cheap
+	// enough for synchronous admission; the weights load when the job runs.
+	if err := s.models.validate(req.ModelID); err != nil {
+		if !writeNotFound(w, err) {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		}
 		return
 	}
 	if len(req.Assets) == 0 {
@@ -70,10 +79,18 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if sp := trace.SpanFromContext(r.Context()); sp != nil {
 		traceID = sp.TraceID
 	}
+	// Fairness lane: an explicit key namespace (prefix before '/') wins;
+	// otherwise jobs queue per tenant, so one grid's burst cannot starve
+	// another grid's jobs.
+	namespace := ""
+	if jobs.Namespace(key) == "" {
+		namespace = "grid:" + req.Grid
+	}
 	plan := req.PlanRequest
 	view, err := s.jobs.Submit(jobs.Request{
 		Kind:           "plan",
 		IdempotencyKey: key,
+		Namespace:      namespace,
 		Timeout:        s.deadlineFor(plan),
 		TraceID:        traceID,
 		Fn: func(ctx context.Context) (any, error) {

@@ -51,11 +51,11 @@ func TestPlanOverBudgetReturns429(t *testing.T) {
 		t.Fatalf("error %q does not name the resource", body.Error)
 	}
 	m := s.Metrics()
-	if got := m.CounterValue("limits_exhausted_total", "resource", "nodes"); got != 1 {
-		t.Errorf("limits_exhausted_total{nodes} = %d, want 1", got)
+	if got := m.CounterValue("limits_exhausted_total", "resource", "nodes", "tenant", "ops-area"); got != 1 {
+		t.Errorf("limits_exhausted_total{nodes,ops-area} = %d, want 1", got)
 	}
-	if got := m.CounterValue("limits_charged_total", "resource", "nodes"); got == 0 {
-		t.Error("limits_charged_total{nodes} = 0, want the charged expansions")
+	if got := m.CounterValue("limits_charged_total", "resource", "nodes", "tenant", "ops-area"); got == 0 {
+		t.Error("limits_charged_total{nodes,ops-area} = 0, want the charged expansions")
 	}
 }
 
@@ -77,7 +77,7 @@ func TestPlanWithinBudgetIsByteIdentical(t *testing.T) {
 			recCapped.Body.String(), recFree.Body.String())
 	}
 	// The capped run still accounted its usage.
-	if got := capped.Metrics().CounterValue("limits_charged_total", "resource", "nodes"); got == 0 {
+	if got := capped.Metrics().CounterValue("limits_charged_total", "resource", "nodes", "tenant", "ops-area"); got == 0 {
 		t.Error("within-limit run charged nothing")
 	}
 }

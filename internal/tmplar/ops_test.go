@@ -9,7 +9,7 @@ import (
 	"strings"
 	"testing"
 
-	"github.com/routeplanning/mamorl/internal/grid"
+	"github.com/routeplanning/mamorl/internal/catalog"
 	"github.com/routeplanning/mamorl/internal/trace"
 )
 
@@ -17,12 +17,10 @@ func TestReadyz(t *testing.T) {
 	base := server(t)
 
 	// No grids registered: alive but not ready.
-	empty := &Server{
-		grids: make(map[string]*grid.Grid),
-		model: base.model,
-		ext:   base.ext,
-		opts:  Options{}.withDefaults(),
-	}
+	empty := &Server{models: base.models, opts: Options{}.withDefaults()}
+	empty.cat = catalog.New(catalog.Options{
+		LoadModel: base.models.resolve, Metrics: empty.opts.Metrics,
+	})
 	rec := do(t, empty.Handler(), "GET", "/readyz", nil)
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("empty server readyz = %d, want 503 (%s)", rec.Code, rec.Body.String())
@@ -40,10 +38,12 @@ func TestReadyz(t *testing.T) {
 	if !ok {
 		t.Fatal("ops-area missing from shared server")
 	}
-	noModel := &Server{
-		grids: map[string]*grid.Grid{g.Name(): g},
-		opts:  Options{}.withDefaults(),
-	}
+	mc := &modelCache{bySel: make(map[string]*catalog.ModelArtifact)}
+	noModel := &Server{models: mc, opts: Options{}.withDefaults()}
+	noModel.cat = catalog.New(catalog.Options{
+		LoadModel: mc.resolve, Metrics: noModel.opts.Metrics,
+	})
+	noModel.InstallGrid(g)
 	if rec := do(t, noModel.Handler(), "GET", "/readyz", nil); rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("model-less readyz = %d, want 503", rec.Code)
 	}

@@ -7,8 +7,12 @@
 //
 // The server is stdlib net/http only. Grids are registered once (uploaded
 // as JSON or installed programmatically) and referenced by name in planning
-// requests; the Approx-MaMoRL model is trained at startup exactly as in
-// Section 4.2.
+// requests. Planning is tenant-aware: every request selects a (grid,
+// model_id) pair, resolved through the planner catalog — an LRU-bounded
+// cache of pooled planners with single-flight loading and Decide
+// micro-batching. The default model (empty model_id) is trained at startup
+// exactly as in Section 4.2; alternative models resolve from the registry
+// by artifact ID, "seed:<n>", or "name:<grid>".
 package tmplar
 
 import (
@@ -18,7 +22,6 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -26,6 +29,7 @@ import (
 
 	"github.com/routeplanning/mamorl/internal/approx"
 	"github.com/routeplanning/mamorl/internal/baselines"
+	"github.com/routeplanning/mamorl/internal/catalog"
 	"github.com/routeplanning/mamorl/internal/features"
 	"github.com/routeplanning/mamorl/internal/geo"
 	"github.com/routeplanning/mamorl/internal/grid"
@@ -131,6 +135,17 @@ type Options struct {
 	// ProfileWindow is the CPU profile length per capture; <= 0 selects the
 	// prof package default (5s, clamped below ProfileInterval).
 	ProfileWindow time.Duration
+	// CatalogCapacity bounds the resident (grid, model) planner entries in
+	// the serving catalog; LRU eviction beyond it. <= 0 selects the catalog
+	// package default (8).
+	CatalogCapacity int
+	// CatalogBatchWindow is how long a planner's micro-batch runner waits
+	// for stragglers before executing a partial batch; 0 disables the wait
+	// (concurrent requests still coalesce while a batch is executing).
+	CatalogBatchWindow time.Duration
+	// CatalogMaxBatch caps Decide tasks executed per micro-batch round;
+	// <= 0 selects the catalog package default (8).
+	CatalogMaxBatch int
 }
 
 func (o Options) withDefaults() Options {
@@ -170,10 +185,8 @@ const (
 
 // Server is the TMPLAR-style planning service.
 type Server struct {
-	mu       sync.RWMutex
-	grids    map[string]*grid.Grid
-	model    *approx.LinearModel
-	ext      features.Extractor
+	cat      *catalog.Catalog
+	models   *modelCache
 	opts     Options
 	ring     *trace.Ring
 	tracer   *trace.Tracer
@@ -181,7 +194,7 @@ type Server struct {
 	jobs     *jobs.Queue
 	sloEng   *slo.Engine
 	profiler *prof.Profiler
-	// modelSource/modelArtifact record where the model came from:
+	// modelSource/modelArtifact record where the default model came from:
 	// ("trained", artifact-id-or-empty) or ("registry", artifact-id).
 	modelSource   string
 	modelArtifact string
@@ -203,10 +216,24 @@ func NewServerOpts(seed int64, opts Options) (*Server, error) {
 	ring := trace.NewRing(opts.TraceBuffer)
 	tracer := trace.New(ring, trace.NewHistogramSink(opts.Metrics))
 
-	model, ext, source, artifact, err := loadOrTrainModel(seed, opts, tracer)
+	models, err := newModelCache(seed, opts, tracer)
 	if err != nil {
 		return nil, err
 	}
+	// The default model resolves eagerly so startup keeps its contract:
+	// train (or registry warm-start) before the server answers ready, and
+	// fail construction outright when training cannot run.
+	if _, err := models.resolve(context.Background(), ""); err != nil {
+		return nil, err
+	}
+	cat := catalog.New(catalog.Options{
+		Capacity:    opts.CatalogCapacity,
+		BatchWindow: opts.CatalogBatchWindow,
+		MaxBatch:    opts.CatalogMaxBatch,
+		LoadModel:   models.resolve,
+		Metrics:     opts.Metrics,
+		Tracer:      tracer,
+	})
 	// The sampler folds Go runtime telemetry into the registry on every tick,
 	// so the dashboard shows heap/GC/goroutine series alongside service ones.
 	rc := obs.NewRuntimeCollector(opts.Metrics)
@@ -265,9 +292,8 @@ func NewServerOpts(seed int64, opts Options) (*Server, error) {
 		Tracer:         tracer,
 	})
 	return &Server{
-		grids:         make(map[string]*grid.Grid),
-		model:         model,
-		ext:           ext,
+		cat:           cat,
+		models:        models,
 		opts:          opts,
 		ring:          ring,
 		tracer:        tracer,
@@ -275,37 +301,184 @@ func NewServerOpts(seed int64, opts Options) (*Server, error) {
 		jobs:          queue,
 		sloEng:        sloEng,
 		profiler:      profiler,
-		modelSource:   source,
-		modelArtifact: artifact,
+		modelSource:   models.defaultSource,
+		modelArtifact: models.defaultArtifact,
 	}, nil
 }
 
-// loadOrTrainModel resolves the serving model: from the registry when
-// ModelDir holds an artifact trained on this seed's exact training grid,
-// else by running the training pipeline (and registering the result when a
-// registry is configured). A corrupt or mismatched artifact falls through
-// to training — the registry is a cache, never a correctness dependency.
-func loadOrTrainModel(seed int64, opts Options, tracer *trace.Tracer) (*approx.LinearModel, features.Extractor, string, string, error) {
-	var store *registry.Store
+// modelCache resolves model selectors to artifacts and memoizes the result
+// per selector, so two grids sharing a model pay its registry load (or the
+// training pipeline, for the default) once. The catalog's single-flight
+// layer dedups per (grid, model) key; this layer dedups across grids.
+type modelCache struct {
+	seed   int64
+	opts   Options
+	tracer *trace.Tracer
+	store  *registry.Store // nil without a ModelDir
+
+	mu    sync.Mutex
+	bySel map[string]*catalog.ModelArtifact
+	// Default-model provenance, set when the "" selector first resolves.
+	defaultSource   string
+	defaultArtifact string
+}
+
+func newModelCache(seed int64, opts Options, tracer *trace.Tracer) (*modelCache, error) {
+	mc := &modelCache{
+		seed:   seed,
+		opts:   opts,
+		tracer: tracer,
+		bySel:  make(map[string]*catalog.ModelArtifact),
+	}
 	if opts.ModelDir != "" {
-		var err error
-		store, err = registry.Open(opts.ModelDir)
+		store, err := registry.Open(opts.ModelDir)
 		if err != nil {
-			return nil, features.Extractor{}, "", "", fmt.Errorf("tmplar: model registry: %w", err)
+			return nil, fmt.Errorf("tmplar: model registry: %w", err)
 		}
-		tg, err := approx.DefaultTrainingGrid(seed)
+		mc.store = store
+	}
+	return mc, nil
+}
+
+// hasDefault reports whether the default model has been resolved (readiness
+// signal: the server cannot plan without it).
+func (mc *modelCache) hasDefault() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	_, ok := mc.bySel[""]
+	return ok
+}
+
+// resolve maps a model selector to an artifact: "" is the default model
+// (registry warm-start when possible, else the Section 4.2 training
+// pipeline), "seed:<n>" and "name:<grid>" resolve the newest matching
+// registry artifact, and anything else is an exact content-addressed
+// artifact ID. Non-default selectors never train on a miss — an unknown
+// selector is a client error (404), not a request to spend minutes fitting.
+func (mc *modelCache) resolve(_ context.Context, selector string) (*catalog.ModelArtifact, error) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if art, ok := mc.bySel[selector]; ok {
+		return art, nil
+	}
+	var (
+		art *catalog.ModelArtifact
+		err error
+	)
+	if selector == "" {
+		art, err = mc.loadOrTrainDefault()
+		if err == nil {
+			mc.defaultSource = art.Source
+			mc.defaultArtifact = art.ArtifactID
+		}
+	} else {
+		art, err = mc.resolveRegistry(selector)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mc.bySel[selector] = art
+	return art, nil
+}
+
+// validate checks that a selector is resolvable without loading weights:
+// cheap enough for synchronous admission on the jobs plane.
+func (mc *modelCache) validate(selector string) error {
+	mc.mu.Lock()
+	if _, ok := mc.bySel[selector]; ok {
+		mc.mu.Unlock()
+		return nil
+	}
+	mc.mu.Unlock()
+	if selector == "" {
+		return nil // the default trains on demand; always resolvable
+	}
+	_, err := mc.manifestFor(selector)
+	return err
+}
+
+// resolveRegistry loads a non-default selector from the registry.
+func (mc *modelCache) resolveRegistry(selector string) (*catalog.ModelArtifact, error) {
+	man, err := mc.manifestFor(selector)
+	if err != nil {
+		return nil, err
+	}
+	model, err := registry.LoadLinear(mc.store, man)
+	if err != nil {
+		// A manifest whose blob is corrupt serves nothing; to the client
+		// the selector does not name a usable model.
+		return nil, &catalog.NotFoundError{Kind: "model", Name: selector}
+	}
+	return &catalog.ModelArtifact{
+		Model:      model,
+		Ext:        features.New(),
+		Source:     ModelSourceRegistry,
+		ArtifactID: man.ID,
+	}, nil
+}
+
+// manifestFor resolves a non-default selector to its registry manifest.
+func (mc *modelCache) manifestFor(selector string) (registry.Manifest, error) {
+	notFound := &catalog.NotFoundError{Kind: "model", Name: selector}
+	if mc.store == nil {
+		return registry.Manifest{}, notFound
+	}
+	switch {
+	case strings.HasPrefix(selector, "seed:"):
+		n, err := strconv.ParseInt(strings.TrimPrefix(selector, "seed:"), 10, 64)
 		if err != nil {
-			return nil, features.Extractor{}, "", "", fmt.Errorf("tmplar: training grid: %w", err)
+			return registry.Manifest{}, notFound
+		}
+		man, err := mc.store.ResolveMatch(func(m registry.Manifest) bool {
+			return m.Kind == registry.KindLinreg && m.Seed == n
+		})
+		if err != nil {
+			return registry.Manifest{}, notFound
+		}
+		return man, nil
+	case strings.HasPrefix(selector, "name:"):
+		name := strings.TrimPrefix(selector, "name:")
+		man, err := mc.store.ResolveMatch(func(m registry.Manifest) bool {
+			return m.Kind == registry.KindLinreg && m.Grid == name
+		})
+		if err != nil {
+			return registry.Manifest{}, notFound
+		}
+		return man, nil
+	default:
+		man, err := mc.store.Get(selector)
+		if err != nil {
+			return registry.Manifest{}, notFound
+		}
+		return man, nil
+	}
+}
+
+// loadOrTrainDefault resolves the default serving model: from the registry
+// when ModelDir holds an artifact trained on this seed's exact training
+// grid, else by running the training pipeline (and registering the result
+// when a registry is configured). A corrupt or mismatched artifact falls
+// through to training — the registry is a cache, never a correctness
+// dependency.
+func (mc *modelCache) loadOrTrainDefault() (*catalog.ModelArtifact, error) {
+	opts := mc.opts
+	if mc.store != nil {
+		tg, err := approx.DefaultTrainingGrid(mc.seed)
+		if err != nil {
+			return nil, fmt.Errorf("tmplar: training grid: %w", err)
 		}
 		fp := tg.Fingerprint()
-		man, err := store.ResolveMatch(func(m registry.Manifest) bool {
+		man, err := mc.store.ResolveMatch(func(m registry.Manifest) bool {
 			return m.Kind == registry.KindLinreg && m.Grid == tg.Name() &&
-				m.GridFingerprint == fp && m.Seed == seed
+				m.GridFingerprint == fp && m.Seed == mc.seed
 		})
 		if err == nil {
-			model, lerr := registry.LoadLinear(store, man)
+			model, lerr := registry.LoadLinear(mc.store, man)
 			if lerr == nil {
-				return model, features.New(), ModelSourceRegistry, man.ID, nil
+				return &catalog.ModelArtifact{
+					Model: model, Ext: features.New(),
+					Source: ModelSourceRegistry, ArtifactID: man.ID,
+				}, nil
 			}
 			if opts.Logger != nil {
 				opts.Logger.Warn("registry artifact unusable; retraining",
@@ -314,18 +487,18 @@ func loadOrTrainModel(seed int64, opts Options, tracer *trace.Tracer) (*approx.L
 		}
 	}
 
-	cfg := approx.TrainConfig{Seed: seed, Tracer: tracer, FitWorkers: opts.TrainWorkers, Metrics: opts.Metrics}
+	cfg := approx.TrainConfig{Seed: mc.seed, Tracer: mc.tracer, FitWorkers: opts.TrainWorkers, Metrics: opts.Metrics}
 	pipe, err := approx.NewPipeline(cfg)
 	if err != nil {
-		return nil, features.Extractor{}, "", "", fmt.Errorf("tmplar: training pipeline: %w", err)
+		return nil, fmt.Errorf("tmplar: training pipeline: %w", err)
 	}
 	model, _, err := approx.FitLinearOpts(pipe.Data, nil, opts.TrainWorkers)
 	if err != nil {
-		return nil, features.Extractor{}, "", "", fmt.Errorf("tmplar: model fit: %w", err)
+		return nil, fmt.Errorf("tmplar: model fit: %w", err)
 	}
 	artifact := ""
-	if store != nil {
-		man, perr := registry.PutLinear(store, model, registry.TrainMeta(pipe.Scenario.Grid, cfg))
+	if mc.store != nil {
+		man, perr := registry.PutLinear(mc.store, model, registry.TrainMeta(pipe.Scenario.Grid, cfg))
 		if perr != nil {
 			if opts.Logger != nil {
 				opts.Logger.Warn("could not register trained model", "err", perr)
@@ -334,12 +507,16 @@ func loadOrTrainModel(seed int64, opts Options, tracer *trace.Tracer) (*approx.L
 			artifact = man.ID
 		}
 	}
-	return model, pipe.Extractor, ModelSourceTrained, artifact, nil
+	return &catalog.ModelArtifact{
+		Model: model, Ext: pipe.Extractor,
+		Source: ModelSourceTrained, ArtifactID: artifact,
+	}, nil
 }
 
-// ModelSource reports where the serving model came from: "registry" (and
-// the artifact ID) for a warm start, "trained" for an in-process fit (the
-// artifact ID is the newly registered one when a ModelDir is configured).
+// ModelSource reports where the default serving model came from: "registry"
+// (and the artifact ID) for a warm start, "trained" for an in-process fit
+// (the artifact ID is the newly registered one when a ModelDir is
+// configured).
 func (s *Server) ModelSource() (source, artifactID string) {
 	return s.modelSource, s.modelArtifact
 }
@@ -359,10 +536,13 @@ func (s *Server) DrainJobs(ctx context.Context) error {
 }
 
 // Close releases the server's background resources (the job queue's
-// workers), aborting any jobs still in flight.
+// workers and the planner catalog), aborting any jobs still in flight.
 func (s *Server) Close() {
 	if s.jobs != nil {
 		s.jobs.Close()
+	}
+	if s.cat != nil {
+		s.cat.Close()
 	}
 }
 
@@ -416,20 +596,19 @@ func (s *Server) Sampler() *obs.Sampler { return s.sampler }
 func (s *Server) PlanTimeout() time.Duration { return s.opts.PlanTimeout }
 
 // InstallGrid registers a grid under its name, replacing any previous one.
+// Replacing a grid evicts its cached planner entries from the catalog.
 func (s *Server) InstallGrid(g *grid.Grid) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.grids[g.Name()] = g
+	s.cat.InstallGrid(g.Name(), g)
 	s.opts.Metrics.Counter("tmplar_grids_installed_total").Inc()
 }
 
 // lookupGrid fetches a registered grid.
 func (s *Server) lookupGrid(name string) (*grid.Grid, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	g, ok := s.grids[name]
-	return g, ok
+	return s.cat.LookupGrid(name)
 }
+
+// Catalog returns the tenant-aware planner catalog behind /debug/catalog.
+func (s *Server) Catalog() *catalog.Catalog { return s.cat }
 
 // Handler returns the HTTP routing table, wrapped in the serving middleware
 // (panic recovery, request logging, per-endpoint metrics).
@@ -449,10 +628,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /metrics", obs.Handler(s.opts.Metrics))
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/metrics/stream", s.handleStream)
+	mux.HandleFunc("GET /debug/catalog", s.handleCatalogDebug)
 	mux.Handle("GET /debug/slo", s.sloEng.Handler())
 	mux.Handle("GET /debug/prof", s.profiler.ListHandler())
 	mux.Handle("GET /debug/prof/{id}", s.profiler.GetHandler())
-	mux.Handle("GET /debug/dash", obs.DashHandlerFull("/debug/metrics/stream", "/debug/slo", "/debug/prof"))
+	mux.Handle("GET /debug/dash", obs.DashHandlerAll("/debug/metrics/stream", "/debug/slo", "/debug/prof", "/debug/catalog"))
 	return s.instrument(recoverPanics(mux))
 }
 
@@ -518,7 +698,7 @@ func routeLabel(path string) string {
 	case "/healthz", "/readyz", "/version",
 		"/api/grids", "/api/plan", "/api/plan/asset", "/api/jobs/plan",
 		"/metrics", "/debug/traces", "/debug/metrics/stream", "/debug/slo",
-		"/debug/prof", "/debug/dash":
+		"/debug/prof", "/debug/dash", "/debug/catalog":
 		return path
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/jobs/"); ok && rest != "" {
@@ -675,7 +855,12 @@ type RegionSpec struct {
 
 // PlanRequest is the global-view request body.
 type PlanRequest struct {
-	Grid        string      `json:"grid"`
+	Grid string `json:"grid"`
+	// ModelID selects the serving model: empty for the server default, a
+	// content-addressed registry artifact ID, "seed:<n>" for the newest
+	// artifact trained with that seed, or "name:<grid>" for the newest
+	// artifact trained on that grid. Unknown selectors answer 404.
+	ModelID     string      `json:"model_id,omitempty"`
 	Assets      []AssetSpec `json:"assets"`
 	Destination int32       `json:"destination"`
 	CommEvery   int         `json:"comm_every"`
@@ -789,6 +974,7 @@ type PlanResponse struct {
 // current position (the global mission context is unknown to the view).
 type LocalPlanRequest struct {
 	Grid        string    `json:"grid"`
+	ModelID     string    `json:"model_id,omitempty"`
 	Asset       AssetSpec `json:"asset"`
 	Destination int32     `json:"destination"`
 	Seed        int64     `json:"seed"`
@@ -810,12 +996,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // because no grid has been registered yet or the model is absent. Load
 // balancers should gate traffic on this endpoint.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	grids := len(s.grids)
-	modelLoaded := s.model != nil
-	s.mu.RUnlock()
+	grids := s.cat.NumGrids()
+	modelLoaded := s.models != nil && s.models.hasDefault()
 	body := map[string]any{
 		"status": "ready", "grids": grids, "model_loaded": modelLoaded,
+	}
+	// Catalog health: how many planner entries are resident vs. the LRU
+	// bound, and how many loads are in flight right now.
+	snap := s.cat.Snapshot()
+	body["catalog"] = map[string]any{
+		"entries":  len(snap.Entries),
+		"capacity": snap.Capacity,
+		"loading":  len(snap.Loading),
 	}
 	// Provenance: a registry warm start means the server was ready the
 	// moment it came up, without paying the training cost; operators can
@@ -853,9 +1045,9 @@ type gridInfo struct {
 }
 
 func (s *Server) handleListGrids(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	infos := make([]gridInfo, 0, len(s.grids))
-	for _, g := range s.grids {
+	gs := s.cat.Grids() // already name-sorted
+	infos := make([]gridInfo, 0, len(gs))
+	for _, g := range gs {
 		infos = append(infos, gridInfo{
 			Name:         g.Name(),
 			Nodes:        g.NumNodes(),
@@ -864,11 +1056,13 @@ func (s *Server) handleListGrids(w http.ResponseWriter, _ *http.Request) {
 			Metric:       g.Metric().String(),
 		})
 	}
-	s.mu.RUnlock()
-	// Map iteration order is randomized; clients (and tests) get a stable,
-	// name-sorted listing.
-	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleCatalogDebug serves the planner catalog's resident entries,
+// in-flight loads, and hit/miss/eviction counters as JSON.
+func (s *Server) handleCatalogDebug(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cat.Snapshot())
 }
 
 // tooLarge reports whether err came from http.MaxBytesReader tripping.
@@ -927,6 +1121,7 @@ func (s *Server) handlePlanLocal(w http.ResponseWriter, r *http.Request) {
 	}
 	s.servePlan(w, r, PlanRequest{
 		Grid:        req.Grid,
+		ModelID:     req.ModelID,
 		Assets:      []AssetSpec{req.Asset},
 		Destination: req.Destination,
 		CommEvery:   0,
@@ -975,6 +1170,29 @@ type overBudgetResponse struct {
 	Used     int64  `json:"used"`
 }
 
+// notFoundResponse is the structured 404 body for an unknown grid or model
+// selector: which resource kind was missing and the name the client sent.
+type notFoundResponse struct {
+	Error    string `json:"error"`
+	Resource string `json:"resource"`
+	Name     string `json:"name"`
+}
+
+// writeNotFound answers err as a structured 404 when it carries a catalog
+// NotFoundError, reporting whether it did.
+func writeNotFound(w http.ResponseWriter, err error) bool {
+	var nf *catalog.NotFoundError
+	if !errors.As(err, &nf) {
+		return false
+	}
+	writeJSON(w, http.StatusNotFound, notFoundResponse{
+		Error:    err.Error(),
+		Resource: nf.Kind,
+		Name:     nf.Name,
+	})
+	return true
+}
+
 // writeOverBudget answers err as a structured 429 when it carries an
 // ErrOverBudget, reporting whether it did.
 func writeOverBudget(w http.ResponseWriter, err error) bool {
@@ -993,20 +1211,22 @@ func writeOverBudget(w http.ResponseWriter, err error) bool {
 
 // recordBudget folds one request's budget usage into the shared metrics
 // and, on exhaustion, stamps a budget.exhausted event on the plan span so
-// traces show which resource ran out and by how much.
-func (s *Server) recordBudget(sp *trace.Span, b *limits.Budget, err error) {
+// traces show which resource ran out and by how much. The tenant label (the
+// request's grid) attributes consumption per tenant; grid names are
+// operator-controlled, so the label cardinality stays bounded.
+func (s *Server) recordBudget(sp *trace.Span, b *limits.Budget, err error, tenant string) {
 	if b == nil {
 		return
 	}
 	m := s.opts.Metrics
 	for _, r := range limits.Resources() {
 		if u := b.Used(r); u > 0 {
-			m.Counter("limits_charged_total", "resource", r.String()).Add(uint64(u))
+			m.Counter("limits_charged_total", "resource", r.String(), "tenant", tenant).Add(uint64(u))
 		}
 	}
 	var ob *limits.ErrOverBudget
 	if errors.As(err, &ob) {
-		m.Counter("limits_exhausted_total", "resource", ob.Resource.String()).Inc()
+		m.Counter("limits_exhausted_total", "resource", ob.Resource.String(), "tenant", tenant).Inc()
 		if sp.Enabled() {
 			sp.Event("budget.exhausted",
 				trace.String("resource", ob.Resource.String()),
@@ -1056,6 +1276,9 @@ func (s *Server) servePlan(w http.ResponseWriter, r *http.Request, req PlanReque
 			return
 		}
 		m.Counter("tmplar_plan_errors_total", "status", fmt.Sprint(status)).Inc()
+		if writeNotFound(w, err) {
+			return
+		}
 		writeJSON(w, status, errorResponse{err.Error()})
 		return
 	}
@@ -1078,17 +1301,31 @@ func algoLabel(algo string) string {
 // HTTP edge to simulation. budget may be nil (unlimited); it is shared by
 // the planner and the mission loop so a planner-latched violation aborts
 // the run at the next epoch.
+//
+// The (grid, model_id) pair resolves through the planner catalog: the entry
+// is ref-counted for the duration of the request, and approx decisions run
+// on the entry's pooled planner via its micro-batch lane.
 func (s *Server) plan(ctx context.Context, req PlanRequest, budget *limits.Budget) (*PlanResponse, int, error) {
 	sp := trace.SpanFromContext(ctx).Child("plan",
 		trace.String("grid", req.Grid),
+		trace.String("model", req.ModelID),
 		trace.String("algorithm", algoLabel(req.Algorithm)),
 		trace.Int("assets", int64(len(req.Assets))))
 	defer sp.End()
 
-	g, ok := s.lookupGrid(req.Grid)
-	if !ok {
-		return nil, http.StatusNotFound, fmt.Errorf("unknown grid %q", req.Grid)
+	ent, err := s.cat.Acquire(ctx, catalog.Key{Grid: req.Grid, Model: req.ModelID})
+	if err != nil {
+		var nf *catalog.NotFoundError
+		if errors.As(err, &nf) {
+			return nil, http.StatusNotFound, err
+		}
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, http.StatusServiceUnavailable, err
+		}
+		return nil, http.StatusInternalServerError, err
 	}
+	defer ent.Release()
+	g := ent.Grid()
 	if len(req.Assets) == 0 {
 		return nil, http.StatusBadRequest, fmt.Errorf("no assets")
 	}
@@ -1121,98 +1358,118 @@ func (s *Server) plan(ctx context.Context, req PlanRequest, budget *limits.Budge
 		return nil, http.StatusBadRequest, err
 	}
 
-	var planner sim.Planner
-	collision := sim.RecordCollisions
+	// runMission simulates sc under planner and folds the step stream into
+	// per-asset routes. Shared by the direct (baseline) path and the
+	// catalog-batched (approx) path.
+	runMission := func(ctx context.Context, planner sim.Planner, collision sim.CollisionPolicy) (*PlanResponse, int, error) {
+		routes := make([]AssetRoute, len(team))
+		for i := range routes {
+			routes[i].Asset = i
+		}
+		record := func(m *sim.Mission, acts []sim.Action) {
+			for i, a := range acts {
+				cur := m.Cur(i)
+				var leg RouteLeg
+				if a.IsWait() {
+					leg = RouteLeg{From: int32(cur), To: int32(cur), Wait: true, Time: rewardfn.WaitTime}
+				} else {
+					// Post-step, Cur is the destination; reconstruct the move
+					// from the recorded previous leg end (or the source).
+					from := team[i].Source
+					if n := len(routes[i].Legs); n > 0 {
+						from = grid.NodeID(routes[i].Legs[n-1].To)
+					}
+					w, err := m.Grid().EdgeWeight(from, cur)
+					if err != nil {
+						w = m.Grid().Distance(from, cur)
+					}
+					leg = RouteLeg{
+						From:  int32(from),
+						To:    int32(cur),
+						Speed: a.Speed,
+						Time:  vessel.MoveTime(w, float64(a.Speed)),
+						Fuel:  vessel.MoveFuel(w, float64(a.Speed)),
+					}
+				}
+				routes[i].Legs = append(routes[i].Legs, leg)
+				routes[i].Time += leg.Time
+				routes[i].Fuel += leg.Fuel
+			}
+		}
+		res, err := sim.RunContext(ctx, sc, planner,
+			sim.RunOptions{Collision: collision, OnStep: record, TraceParent: sp, Budget: budget})
+		s.recordBudget(sp, budget, err, req.Grid)
+		if err != nil {
+			if sp.Enabled() {
+				sp.SetAttrs(trace.String("error", err.Error()))
+			}
+			var ob *limits.ErrOverBudget
+			if errors.As(err, &ob) {
+				return nil, http.StatusTooManyRequests, err
+			}
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return nil, http.StatusServiceUnavailable, err
+			}
+			return nil, http.StatusInternalServerError, err
+		}
+		if sp.Enabled() {
+			sp.SetAttrs(trace.Bool("found", res.Found), trace.Int("steps", int64(res.Steps)))
+		}
+		return &PlanResponse{
+			Found:      res.Found,
+			FoundBy:    res.FoundBy,
+			Steps:      res.Steps,
+			TTotal:     res.TTotal,
+			FTotal:     res.FTotal,
+			Collisions: res.Collisions,
+			Routes:     routes,
+		}, http.StatusOK, nil
+	}
+
 	switch req.Algorithm {
-	case "", "approx":
-		ap := approx.NewPlanner(s.model, s.ext, req.Seed)
-		ap.SetBudget(budget)
-		planner = ap
-	case "approx-pk":
-		if req.Region == nil {
+	case "", "approx", "approx-pk":
+		if req.Algorithm == "approx-pk" && req.Region == nil {
 			return nil, http.StatusBadRequest, fmt.Errorf("approx-pk requires a region")
 		}
-		rect := geo.Rect(*req.Region)
-		inner := approx.NewPlanner(s.model, s.ext, req.Seed)
-		inner.SetBudget(budget)
-		pk, err := partial.NewPlanner(sc, rect, inner)
-		if err != nil {
-			return nil, http.StatusBadRequest, err
+		// The mission runs inside the entry's micro-batch lane: the pooled
+		// planner is Reset to the request seed before fn runs, and tasks on
+		// one entry execute serially, so results are byte-identical to a
+		// freshly constructed planner regardless of batching.
+		var (
+			resp   *PlanResponse
+			status int
+			perr   error
+		)
+		doErr := ent.Do(ctx, req.Seed, func(ctx context.Context, ap *approx.Planner) error {
+			ap.SetBudget(budget)
+			var planner sim.Planner = ap
+			if req.Algorithm == "approx-pk" {
+				pk, err := partial.NewPlanner(sc, geo.Rect(*req.Region), ap)
+				if err != nil {
+					status, perr = http.StatusBadRequest, err
+					return nil
+				}
+				planner = pk
+			}
+			resp, status, perr = runMission(ctx, planner, sim.RecordCollisions)
+			return nil
+		})
+		if doErr != nil {
+			if errors.Is(doErr, context.DeadlineExceeded) || errors.Is(doErr, context.Canceled) {
+				return nil, http.StatusServiceUnavailable, doErr
+			}
+			return nil, http.StatusInternalServerError, doErr
 		}
-		planner = pk
+		return resp, status, perr
 	case "baseline1":
-		planner = baselines.NewRoundRobin(rewardfn.Weights{}, req.Seed)
+		return runMission(ctx, baselines.NewRoundRobin(rewardfn.Weights{}, req.Seed), sim.RecordCollisions)
 	case "baseline2":
-		planner = baselines.NewIndependent(rewardfn.Weights{}, req.Seed)
-		collision = sim.AbortOnCollision
+		return runMission(ctx, baselines.NewIndependent(rewardfn.Weights{}, req.Seed), sim.AbortOnCollision)
 	case "random":
-		planner = baselines.NewRandomWalk(req.Seed)
+		return runMission(ctx, baselines.NewRandomWalk(req.Seed), sim.RecordCollisions)
 	default:
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm)
 	}
-
-	routes := make([]AssetRoute, len(team))
-	for i := range routes {
-		routes[i].Asset = i
-	}
-	record := func(m *sim.Mission, acts []sim.Action) {
-		for i, a := range acts {
-			cur := m.Cur(i)
-			var leg RouteLeg
-			if a.IsWait() {
-				leg = RouteLeg{From: int32(cur), To: int32(cur), Wait: true, Time: rewardfn.WaitTime}
-			} else {
-				// Post-step, Cur is the destination; reconstruct the move
-				// from the recorded previous leg end (or the source).
-				from := team[i].Source
-				if n := len(routes[i].Legs); n > 0 {
-					from = grid.NodeID(routes[i].Legs[n-1].To)
-				}
-				w, err := m.Grid().EdgeWeight(from, cur)
-				if err != nil {
-					w = m.Grid().Distance(from, cur)
-				}
-				leg = RouteLeg{
-					From:  int32(from),
-					To:    int32(cur),
-					Speed: a.Speed,
-					Time:  vessel.MoveTime(w, float64(a.Speed)),
-					Fuel:  vessel.MoveFuel(w, float64(a.Speed)),
-				}
-			}
-			routes[i].Legs = append(routes[i].Legs, leg)
-			routes[i].Time += leg.Time
-			routes[i].Fuel += leg.Fuel
-		}
-	}
-	res, err := sim.RunContext(ctx, sc, planner,
-		sim.RunOptions{Collision: collision, OnStep: record, TraceParent: sp, Budget: budget})
-	s.recordBudget(sp, budget, err)
-	if err != nil {
-		if sp.Enabled() {
-			sp.SetAttrs(trace.String("error", err.Error()))
-		}
-		var ob *limits.ErrOverBudget
-		if errors.As(err, &ob) {
-			return nil, http.StatusTooManyRequests, err
-		}
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			return nil, http.StatusServiceUnavailable, err
-		}
-		return nil, http.StatusInternalServerError, err
-	}
-	if sp.Enabled() {
-		sp.SetAttrs(trace.Bool("found", res.Found), trace.Int("steps", int64(res.Steps)))
-	}
-	return &PlanResponse{
-		Found:      res.Found,
-		FoundBy:    res.FoundBy,
-		Steps:      res.Steps,
-		TTotal:     res.TTotal,
-		FTotal:     res.FTotal,
-		Collisions: res.Collisions,
-		Routes:     routes,
-	}, http.StatusOK, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/routeplanning/mamorl/internal/catalog"
 	"github.com/routeplanning/mamorl/internal/grid"
 	"github.com/routeplanning/mamorl/internal/obs"
 )
@@ -470,18 +471,26 @@ func TestPlanWithWeatherAndRendezvous(t *testing.T) {
 	}
 }
 
-// derivedServer shares the expensively-trained model/pipeline of the shared
-// server but gets its own grids map, metrics registry, and Options, so limit
+// derivedServer shares the expensively-trained model cache of the shared
+// server but gets its own catalog, metrics registry, and Options, so limit
 // and deadline tests neither retrain nor interfere with other tests.
 func derivedServer(t *testing.T, opts Options) *Server {
 	t.Helper()
 	base := server(t)
+	opts = opts.withDefaults()
 	s := &Server{
-		grids: make(map[string]*grid.Grid),
-		model: base.model,
-		ext:   base.ext,
-		opts:  opts.withDefaults(),
+		models:        base.models,
+		opts:          opts,
+		modelSource:   base.modelSource,
+		modelArtifact: base.modelArtifact,
 	}
+	s.cat = catalog.New(catalog.Options{
+		Capacity:    opts.CatalogCapacity,
+		BatchWindow: opts.CatalogBatchWindow,
+		MaxBatch:    opts.CatalogMaxBatch,
+		LoadModel:   base.models.resolve,
+		Metrics:     opts.Metrics,
+	})
 	g, ok := base.lookupGrid("ops-area")
 	if !ok {
 		t.Fatal("ops-area missing from shared server")
